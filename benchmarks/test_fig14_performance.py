@@ -1,0 +1,77 @@
+"""Figure 14: adaptivity, cycle breakdown and speedup for the 12 models.
+
+Paper results reproduced here:
+* 14a — some layers have similarity detection switched off by the
+  adaptation policy;
+* 14b — signature generation is only a small fraction of MERCURY's total
+  cycles, and MERCURY cuts total computation time roughly in half;
+* 14c — an average (geomean) speedup of 1.97x over the baseline.
+"""
+
+from benchmarks.harness import paper_scale_report, print_header
+from repro.analysis import format_table, geomean
+from repro.models import MODEL_NAMES
+
+PAPER_GEOMEAN_SPEEDUP = 1.97
+
+
+def run_experiment():
+    return {name: paper_scale_report(name) for name in MODEL_NAMES}
+
+
+def test_fig14a_adaptivity(benchmark):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_header("Figure 14a — layers with similarity detection on/off")
+    rows = []
+    for name, report in reports.items():
+        counts = report.layers_on_off()
+        rows.append([name, counts["on"], counts["off"]])
+    print(format_table(["model", "layers on", "layers off"], rows))
+
+    total_off = sum(report.layers_on_off()["off"] for report in reports.values())
+    assert total_off >= 1          # adaptation turns some layers off
+    for report in reports.values():
+        counts = report.layers_on_off()
+        assert counts["on"] >= counts["off"]   # most layers stay on
+
+
+def test_fig14b_cycle_breakdown(benchmark):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_header("Figure 14b — computational cycle breakdown "
+                 "(paper: signatures are a small fraction; ~50% total saving)")
+    rows = []
+    for name, report in reports.items():
+        breakdown = report.cycle_breakdown()
+        rows.append([name,
+                     breakdown["baseline"]["layer_computation"] / 1e6,
+                     breakdown["mercury"]["layer_computation"] / 1e6,
+                     breakdown["mercury"]["signature"] / 1e6,
+                     report.signature_fraction * 100])
+    print(format_table(["model", "baseline Mcycles", "MERCURY layer Mcycles",
+                        "MERCURY signature Mcycles", "signature share (%)"],
+                       rows, "{:.2f}"))
+
+    for report in reports.values():
+        assert report.signature_fraction < 0.20
+        assert report.mercury_total_cycles < report.baseline_total_cycles
+
+
+def test_fig14c_speedup(benchmark):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    speedups = {name: report.speedup for name, report in reports.items()}
+    overall = geomean(speedups.values())
+
+    print_header("Figure 14c — speedup over the baseline "
+                 f"(paper geomean: {PAPER_GEOMEAN_SPEEDUP}x)")
+    rows = [[name, value] for name, value in speedups.items()]
+    rows.append(["geomean", overall])
+    print(format_table(["model", "speedup"], rows, "{:.2f}"))
+
+    assert all(value > 1.3 for value in speedups.values())
+    assert abs(overall - PAPER_GEOMEAN_SPEEDUP) < 0.35
+    # Bigger networks expose at least as much saving as the smallest ones.
+    assert speedups["vgg19"] >= speedups["vgg13"] - 0.05
+    assert speedups["resnet152"] >= speedups["resnet50"] - 0.05

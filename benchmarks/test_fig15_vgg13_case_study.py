@@ -1,0 +1,69 @@
+"""Figure 15: VGG-13 case study.
+
+Paper: (a) MCACHE accesses shift toward HIT/MAU in the deeper layers as
+the number of input vectors shrinks; (b) per-layer cycles drop under
+MERCURY with only a small signature component; (c) the number of unique
+vectors per layer is largest in the early layers.
+"""
+
+from benchmarks.harness import functional_stats, paper_scale_report, print_header
+from repro import MercuryConfig
+from repro.analysis import format_table
+
+
+def run_experiment():
+    engine = functional_stats("vgg13", MercuryConfig(signature_bits=20,
+                                                     adaptive_stoppage=False),
+                              iterations=1)
+    conv_layers = [layer for layer in engine.stats.layers("forward")
+                   if "Conv2D" in layer]
+    access_rows = []
+    unique_rows = []
+    for index, layer in enumerate(conv_layers):
+        record = engine.stats.get(layer, "forward")
+        total = max(record.total_vectors, 1)
+        access_rows.append([f"layer-{index + 1}", record.hits / total * 100,
+                            record.mau / total * 100, record.mnu / total * 100])
+        unique_rows.append([f"layer-{index + 1}", record.unique_signatures,
+                            record.total_vectors])
+
+    report = paper_scale_report("vgg13")
+    cycle_rows = []
+    per_layer = {}
+    for item in report.layer_cycles:
+        entry = per_layer.setdefault(item.layer, {"baseline": 0.0,
+                                                  "compute": 0.0,
+                                                  "signature": 0.0})
+        entry["baseline"] += item.baseline_cycles
+        entry["compute"] += item.compute_cycles
+        entry["signature"] += item.signature_cycles
+    for index, (layer, entry) in enumerate(per_layer.items()):
+        cycle_rows.append([f"layer-{index + 1}", entry["baseline"] / 1e6,
+                           entry["compute"] / 1e6, entry["signature"] / 1e6])
+    return access_rows, cycle_rows, unique_rows
+
+
+def test_fig15_vgg13_case_study(benchmark):
+    access_rows, cycle_rows, unique_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+
+    print_header("Figure 15a — MCACHE access type per VGG-13 layer (%)")
+    print(format_table(["layer", "HIT", "MAU", "MNU"], access_rows, "{:.1f}"))
+
+    print_header("Figure 15b — per-layer cycles, baseline vs MERCURY (Mcycles)")
+    print(format_table(["layer", "baseline", "MERCURY compute",
+                        "MERCURY signature"], cycle_rows, "{:.2f}"))
+
+    print_header("Figure 15c — unique vectors per VGG-13 layer")
+    print(format_table(["layer", "unique signatures", "total vectors"],
+                       unique_rows))
+
+    assert len(access_rows) == 10
+    # Access fractions are a partition of all accesses.
+    for row in access_rows:
+        assert abs(sum(row[1:]) - 100.0) < 1e-6
+    # MERCURY reduces cycles in every paper-scale VGG-13 layer.
+    for row in cycle_rows:
+        assert row[1] > row[2] + row[3]
+    # Early layers have the most unique vectors (largest inputs).
+    assert unique_rows[0][1] >= unique_rows[-1][1]

@@ -1,0 +1,65 @@
+"""Figure 16: performance impact of MCACHE size and associativity.
+
+Paper: speedup grows with cache capacity and associativity; moving from
+512 entries / 8 ways to 1024 entries / 16 ways buys ~4.9% more speedup,
+while 2048 entries add little — 1024x16 is chosen as the default.
+"""
+
+from benchmarks.harness import functional_stats, paper_scale_report, print_header
+from repro import MercuryConfig
+from repro.analysis import format_table, geomean
+from repro.models import MODEL_NAMES
+
+CACHE_SIZES = (512, 1024, 2048)
+WAYS = (8, 16, 32)
+
+
+def _hit_scale_factors():
+    """Relative hit rate of each MCACHE organisation, measured functionally.
+
+    The scaled VGG-13 is run once per organisation; the resulting overall
+    hit fraction, normalised to the default 1024-entry/16-way
+    configuration, scales the paper-scale workload's hit rates.
+    """
+    fractions = {}
+    for entries in CACHE_SIZES:
+        for ways in WAYS:
+            config = MercuryConfig(signature_bits=20, mcache_entries=entries,
+                                   mcache_ways=min(ways, entries),
+                                   adaptive_stoppage=False)
+            engine = functional_stats("vgg13", config, iterations=1)
+            fractions[(entries, ways)] = engine.stats.overall_hit_fraction
+    reference = fractions[(1024, 16)]
+    return {key: value / reference for key, value in fractions.items()}
+
+
+def run_experiment():
+    scales = _hit_scale_factors()
+    results = {}
+    for (entries, ways), scale in scales.items():
+        speedups = [paper_scale_report(name, hit_scale=min(scale, 1.2)).speedup
+                    for name in MODEL_NAMES]
+        results[(entries, ways)] = geomean(speedups)
+    return results
+
+
+def test_fig16_mcache_organizations(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_header("Figure 16 — geomean speedup vs MCACHE organisation "
+                 "(paper default: 1024 entries, 16 ways)")
+    rows = [[entries, ways, value]
+            for (entries, ways), value in sorted(results.items())]
+    print(format_table(["entries", "ways", "geomean speedup"], rows, "{:.2f}"))
+
+    default = results[(1024, 16)]
+    assert default >= results[(512, 8)]           # bigger cache helps
+    # Growing beyond the default helps far less than reaching it did
+    # (the scaled functional workload still leaves some MNUs at 1024
+    # entries, so the tail-off is softer than the paper's, see
+    # EXPERIMENTS.md).
+    gain_to_default = default - results[(512, 8)]
+    gain_beyond = results[(2048, 16)] - default
+    assert gain_beyond < max(gain_to_default, 0.1) + 0.2
+    # All organisations still deliver a clear speedup.
+    assert all(value > 1.2 for value in results.values())

@@ -1,0 +1,44 @@
+"""Figure 18: MERCURY on the input- and weight-stationary dataflows.
+
+Paper: average speedups of 1.55x (input-stationary) and 1.66x
+(weight-stationary), both below the 1.97x of row-stationary.
+"""
+
+from benchmarks.harness import all_model_speedups, print_header
+from repro.analysis import format_table, geomean
+from repro.models import CNN_MODEL_NAMES
+
+PAPER = {"input_stationary": 1.55, "weight_stationary": 1.66,
+         "row_stationary": 1.97}
+
+
+def run_experiment():
+    results = {}
+    for dataflow in ("row_stationary", "weight_stationary", "input_stationary"):
+        results[dataflow] = all_model_speedups(dataflow_name=dataflow,
+                                               models=CNN_MODEL_NAMES)
+    return results
+
+
+def test_fig18_other_dataflows(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_header("Figure 18 — speedup with input-/weight-stationary dataflows")
+    rows = []
+    for name in CNN_MODEL_NAMES:
+        rows.append([name, results["input_stationary"][name],
+                     results["weight_stationary"][name],
+                     results["row_stationary"][name]])
+    means = {key: geomean(values.values()) for key, values in results.items()}
+    rows.append(["geomean", means["input_stationary"],
+                 means["weight_stationary"], means["row_stationary"]])
+    print(format_table(["model", "IS", "WS", "RS"], rows, "{:.2f}"))
+    print(f"paper geomeans: IS {PAPER['input_stationary']}x, "
+          f"WS {PAPER['weight_stationary']}x, RS {PAPER['row_stationary']}x")
+
+    # Ordering matches the paper: RS > WS > IS > 1.
+    assert means["row_stationary"] > means["weight_stationary"]
+    assert means["weight_stationary"] > means["input_stationary"]
+    assert means["input_stationary"] > 1.2
+    # All models still benefit on every dataflow.
+    assert all(v > 1.0 for values in results.values() for v in values.values())

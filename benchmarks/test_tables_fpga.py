@@ -1,0 +1,66 @@
+"""Tables II, III and IV: FPGA resource usage and on-chip power.
+
+The rows are produced by the calibrated Virtex-7 model; configurations
+published in the paper are reproduced exactly, others are interpolated.
+"""
+
+from benchmarks.harness import print_header
+from repro.accelerator import FPGAModel
+from repro.analysis import format_table
+
+COLUMNS = ["cache_size", "sets", "ways", "slice_luts", "slice_registers",
+           "block_ram", "dsp48", "total"]
+
+
+def _rows_to_table(rows):
+    return [[row.get(col, "") for col in COLUMNS] for row in rows]
+
+
+def test_table2_resource_and_power_vs_sets(benchmark):
+    fpga = FPGAModel()
+    rows = benchmark.pedantic(fpga.table2_rows, rounds=1, iterations=1)
+
+    print_header("Table II — MERCURY resources/power vs number of sets "
+                 "(16 ways)")
+    print(format_table(COLUMNS, _rows_to_table(rows), "{:.1f}"))
+
+    assert [row["sets"] for row in rows] == [16, 32, 48, 64]
+    assert rows[-1]["slice_luts"] == 216918
+    assert rows[-1]["total"] == 1.929
+    # Quadrupling the sets costs ~6.5% power (paper's headline trend).
+    assert rows[-1]["total"] / rows[0]["total"] < 1.08
+
+
+def test_table3_resource_and_power_vs_ways(benchmark):
+    fpga = FPGAModel()
+    rows = benchmark.pedantic(fpga.table3_rows, rounds=1, iterations=1)
+
+    print_header("Table III — MERCURY resources/power vs number of ways "
+                 "(64 sets)")
+    print(format_table(COLUMNS, _rows_to_table(rows), "{:.1f}"))
+
+    assert [row["ways"] for row in rows] == [2, 4, 8, 16]
+    registers = [row["slice_registers"] for row in rows]
+    assert registers == sorted(registers)
+    # 2 -> 16 ways costs ~4% power.
+    assert rows[-1]["total"] / rows[0]["total"] < 1.05
+
+
+def test_table4_mercury_vs_baseline(benchmark):
+    fpga = FPGAModel()
+    rows = benchmark.pedantic(fpga.table4_rows, rounds=1, iterations=1)
+
+    print_header("Table IV — MERCURY vs baseline (1024 entries, 16 ways)")
+    columns = ["method", "slice_luts", "slice_registers", "block_ram",
+               "dsp48", "total"]
+    print(format_table(columns,
+                       [[row[col] for col in columns] for row in rows],
+                       "{:.1f}"))
+    overhead = fpga.power_overhead(64, 16)
+    print(f"power overhead: {overhead:.3f}x (paper: ~1.13x)")
+
+    baseline, mercury = rows
+    assert baseline["method"] == "Baseline" and mercury["method"] == "MERCURY"
+    assert mercury["slice_luts"] > baseline["slice_luts"]
+    assert mercury["dsp48"] == baseline["dsp48"] == 198
+    assert 1.10 < overhead < 1.20

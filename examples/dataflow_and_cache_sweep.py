@@ -1,0 +1,56 @@
+"""Explore MERCURY across dataflows and MCACHE organisations.
+
+Projects the twelve paper-scale workloads onto the row-, weight- and
+input-stationary dataflows and sweeps the MCACHE geometry, mirroring the
+paper's Figures 16 and 18.  Run with:
+
+    python examples/dataflow_and_cache_sweep.py
+"""
+
+from repro import MercuryConfig
+from repro.accelerator import FPGAModel, MercurySimulator, make_dataflow
+from repro.accelerator.workloads import build_workload, workload_to_stats
+from repro.analysis import format_table, geomean
+from repro.models import CNN_MODEL_NAMES
+
+
+def speedup(model_name: str, dataflow_name: str, config: MercuryConfig) -> float:
+    stats = workload_to_stats(build_workload(model_name,
+                                             signature_bits=config.signature_bits))
+    simulator = MercurySimulator(config, dataflow=make_dataflow(dataflow_name))
+    return simulator.speedup(stats, model_name, apply_analytic_stoppage=True)
+
+
+def main() -> None:
+    config = MercuryConfig()
+
+    # --- Figure 18: the three dataflows ---------------------------------
+    rows = []
+    for name in CNN_MODEL_NAMES:
+        rows.append([name,
+                     speedup(name, "row_stationary", config),
+                     speedup(name, "weight_stationary", config),
+                     speedup(name, "input_stationary", config)])
+    means = [geomean([row[i] for row in rows]) for i in (1, 2, 3)]
+    rows.append(["geomean", *means])
+    print("Speedup per dataflow (paper: RS 1.97x, WS 1.66x, IS 1.55x)")
+    print(format_table(["model", "row-stationary", "weight-stationary",
+                        "input-stationary"], rows, "{:.2f}"))
+
+    # --- Figure 16 / Tables II-III: what does a bigger MCACHE cost? -----
+    fpga = FPGAModel()
+    cache_rows = []
+    for sets, ways in ((16, 16), (32, 16), (64, 8), (64, 16)):
+        resources = fpga.mercury_resources(sets, ways)
+        power = fpga.mercury_power(sets, ways)
+        cache_rows.append([sets * ways, sets, ways, resources.slice_luts,
+                           resources.slice_registers, power.total])
+    print("\nMCACHE organisation cost (calibrated Virtex-7 model)")
+    print(format_table(["entries", "sets", "ways", "LUTs", "registers",
+                        "power (W)"], cache_rows, "{:.1f}"))
+    print(f"MERCURY power overhead over baseline: "
+          f"{fpga.power_overhead(64, 16):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""VGG-13 case study: per-layer similarity, reuse and projected cycles.
+
+Reproduces the flavour of the paper's Figures 1 and 15 from the command
+line.  Run with:  python examples/vgg13_case_study.py
+"""
+
+from repro import MercuryConfig, ReuseEngine
+from repro.accelerator import MercurySimulator
+from repro.accelerator.workloads import build_workload, workload_to_stats
+from repro.analysis import format_table, measure_layer_similarity
+from repro.data import ClusteredImageDataset, ImageDatasetConfig
+from repro.models import build_model
+from repro.nn import CrossEntropyLoss
+
+
+def main() -> None:
+    dataset = ClusteredImageDataset(ImageDatasetConfig(num_classes=4,
+                                                       samples_per_class=8,
+                                                       image_size=24))
+    model = build_model("vgg13", num_classes=4, seed=1)
+
+    # --- Figure 1: similarity among input and gradient vectors ----------
+    similarity = measure_layer_similarity(model, dataset.images[:8],
+                                          dataset.labels[:8],
+                                          signature_bits=20)
+    rows = [[f"layer-{i + 1}", item.input_similarity * 100,
+             item.gradient_similarity * 100, item.unique_input_vectors]
+            for i, item in enumerate(similarity)]
+    print("Per-layer similarity (scaled VGG-13, 20-bit signatures)")
+    print(format_table(["layer", "input sim (%)", "gradient sim (%)",
+                        "unique vectors"], rows, "{:.1f}"))
+
+    # --- Figure 15a: MCACHE access mix during one training batch --------
+    config = MercuryConfig(signature_bits=20, adaptive_stoppage=False)
+    engine = ReuseEngine(config)
+    model.set_engine(engine)
+    loss_fn = CrossEntropyLoss()
+    logits = model(dataset.images[:8])
+    loss = loss_fn(logits, dataset.labels[:8])
+    model.zero_grad()
+    model.backward(loss_fn.backward())
+    engine.end_iteration(loss)
+
+    access_rows = []
+    conv_layers = [l for l in engine.stats.layers("forward") if "Conv2D" in l]
+    for index, layer in enumerate(conv_layers):
+        record = engine.stats.get(layer, "forward")
+        total = max(record.total_vectors, 1)
+        access_rows.append([f"layer-{index + 1}", record.hits / total * 100,
+                            record.mau / total * 100, record.mnu / total * 100])
+    print("\nMCACHE access type per layer (%)")
+    print(format_table(["layer", "HIT", "MAU", "MNU"], access_rows, "{:.1f}"))
+
+    # --- Figure 15b at paper scale: projected per-layer cycles ----------
+    report = MercurySimulator(config).simulate(
+        workload_to_stats(build_workload("vgg13")), "vgg13",
+        apply_analytic_stoppage=True)
+    print(f"\nPaper-scale VGG-13 projection: speedup {report.speedup:.2f}x, "
+          f"signature share {report.signature_fraction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works without the wheel package.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`--no-use-pep517`) in offline environments
+where the `wheel` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — a reproduction of MERCURY (HPCA 2023).
+
+MERCURY accelerates DNN training by detecting similarity among input
+(and gradient) vectors with Random Projection with Quantization (RPQ)
+and reusing already-computed dot products through a signature-indexed
+cache (MCACHE).
+
+The package is organised as:
+
+* :mod:`repro.nn` — a from-scratch numpy DNN training framework
+  (convolution, linear, attention, pooling, normalisation layers with
+  explicit forward/backward, losses and optimizers).
+* :mod:`repro.core` — the MERCURY contribution: RPQ signatures, the
+  signature table, MCACHE, the Hitmap and the reuse engine that skips
+  similar dot products during training, plus the adaptation policies.
+* :mod:`repro.accelerator` — a cycle cost model of an Eyeriss-style
+  accelerator (row-, weight- and input-stationary dataflows), the
+  pipelined signature datapath and an FPGA resource/power model.
+* :mod:`repro.models` — scaled versions of the twelve networks the
+  paper evaluates.
+* :mod:`repro.data` — synthetic datasets standing in for ImageNet-80
+  and Multi30k.
+* :mod:`repro.baselines` — UCNN, unlimited zero pruning, unlimited
+  similarity detection and a Bloom-filter similarity detector.
+* :mod:`repro.training` — training harnesses and metrics.
+* :mod:`repro.analysis` — similarity characterisation and reporting.
+"""
+
+from repro.core.config import MercuryConfig
+from repro.core.reuse import ReuseEngine
+from repro.core.rpq import RPQHasher
+
+__all__ = ["MercuryConfig", "ReuseEngine", "RPQHasher"]
+
+__version__ = "1.0.0"

@@ -1,0 +1,49 @@
+"""Baseline (no-reuse) accelerator model.
+
+The baseline is the same Eyeriss-style array with the same dataflow but
+without signature generation, MCACHE or Hitmap: every dot product is
+executed.  Its per-layer cycles are what Figure 14b/14c normalise
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.cost_model import CycleCostModel
+from repro.accelerator.dataflow import Dataflow, RowStationary
+from repro.core.stats import ReuseStats
+
+
+@dataclass
+class BaselineLayerReport:
+    layer: str
+    phase: str
+    cycles: float
+    macs: int
+
+
+class BaselineAccelerator:
+    """Computes baseline cycle counts from per-layer workload records."""
+
+    def __init__(self, num_pes: int = 168, dataflow: Dataflow | None = None):
+        self.dataflow = dataflow or RowStationary()
+        self.cost_model = CycleCostModel(num_pes=num_pes, dataflow=self.dataflow,
+                                         pipelined_signatures=False,
+                                         asynchronous=False)
+
+    def layer_reports(self, stats: ReuseStats) -> list[BaselineLayerReport]:
+        reports = []
+        for record in stats.all_records():
+            reports.append(BaselineLayerReport(
+                layer=record.layer,
+                phase=record.phase,
+                cycles=self.cost_model.baseline_cycles(record),
+                macs=record.baseline_macs))
+        return reports
+
+    def total_cycles(self, stats: ReuseStats) -> float:
+        return sum(report.cycles for report in self.layer_reports(stats))
+
+    def total_macs(self, stats: ReuseStats) -> int:
+        return sum(report.macs for report in self.layer_reports(stats))

@@ -1,0 +1,168 @@
+"""Cycle cost model.
+
+The cost model converts one :class:`~repro.core.stats.LayerReuseStats`
+record (what the functional engine did for one layer and phase) into
+cycle counts:
+
+* **baseline** — every dot product executed on the plain accelerator;
+* **MERCURY layer computation** — dot products of MAU/MNU vectors plus
+  the per-vector Hitmap-check overhead and, for the synchronous design,
+  a load-imbalance penalty (fast PE sets waiting for the slowest);
+* **MERCURY signature generation** — the convolution-formulated RPQ
+  cost, pipelined or not, charged only for vectors whose signatures were
+  actually generated (reloaded backward signatures are free).
+
+All quantities are in MAC-unit cycles of the same PE array, so the
+speedup of Figure 14c is simply ``baseline_total / mercury_total``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.dataflow import Dataflow, RowStationary
+from repro.accelerator.signature_pipeline import (
+    pipelined_signature_cycles,
+    unpipelined_signature_cycles,
+)
+from repro.core.stats import LayerReuseStats
+
+
+@dataclass
+class LayerCycles:
+    """Cycle breakdown of one (layer, phase)."""
+
+    layer: str
+    phase: str
+    baseline_cycles: float
+    compute_cycles: float
+    signature_cycles: float
+    detection_on: bool
+
+    @property
+    def mercury_cycles(self) -> float:
+        return self.compute_cycles + self.signature_cycles
+
+    @property
+    def speedup(self) -> float:
+        if self.mercury_cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.mercury_cycles
+
+
+class CycleCostModel:
+    """Analytical cycle model for one accelerator configuration.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of processing elements (the paper uses 168).
+    dataflow:
+        A :class:`~repro.accelerator.dataflow.Dataflow`; defaults to
+        row-stationary.
+    pipelined_signatures:
+        Whether the ORg-register signature pipelining is enabled.
+    asynchronous:
+        Synchronous designs pay a load-imbalance penalty at every filter
+        barrier; asynchronous designs avoid it at the price of a small
+        coordination overhead.
+    sync_imbalance_factor:
+        Scale of the synchronous barrier penalty (one standard deviation
+        of the per-PE-set computed-vector count).
+    async_overhead:
+        Fractional overhead of the asynchronous coordination (extra
+        buffers, BusyMap checks, MCACHE version selection).
+    """
+
+    def __init__(self, num_pes: int = 168, dataflow: Dataflow | None = None,
+                 pipelined_signatures: bool = True, asynchronous: bool = True,
+                 sync_imbalance_factor: float = 1.0,
+                 async_overhead: float = 0.02):
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        self.num_pes = num_pes
+        self.dataflow = dataflow or RowStationary()
+        self.pipelined_signatures = pipelined_signatures
+        self.asynchronous = asynchronous and self.dataflow.supports_async
+        self.sync_imbalance_factor = sync_imbalance_factor
+        self.async_overhead = async_overhead
+
+    # ------------------------------------------------------------------
+    @property
+    def pe_sets(self) -> int:
+        return max(self.num_pes // self.dataflow.pe_set_size, 1)
+
+    def _dot_product_cycles(self, vector_length: int) -> float:
+        """Cycles for one PE set to compute one vector x filter dot product."""
+        rows = self.dataflow.pe_set_size
+        return math.ceil(vector_length / rows) + (rows - 1)
+
+    # ------------------------------------------------------------------
+    def baseline_cycles(self, record: LayerReuseStats) -> float:
+        """Cycles without any reuse for the work described by ``record``."""
+        if record.total_vectors == 0:
+            return 0.0
+        vectors_per_set = math.ceil(record.total_vectors / self.pe_sets)
+        per_pair = self._dot_product_cycles(record.vector_length)
+        return vectors_per_set * record.num_filters * per_pair
+
+    def signature_cycles(self, record: LayerReuseStats) -> float:
+        """Cycles spent generating RPQ signatures for ``record``."""
+        if not record.similarity_detection_on:
+            return 0.0
+        generated = record.signature_computed_vectors
+        if generated == 0 or record.signature_bits == 0:
+            return 0.0
+        per_set = math.ceil(generated / self.pe_sets)
+        rows = self.dataflow.pe_set_size
+        if self.pipelined_signatures:
+            return float(pipelined_signature_cycles(per_set,
+                                                    record.signature_bits,
+                                                    rows))
+        return float(unpipelined_signature_cycles(per_set,
+                                                  record.signature_bits,
+                                                  rows))
+
+    def compute_cycles(self, record: LayerReuseStats) -> float:
+        """Dot-product cycles of the MERCURY run (MAU/MNU vectors only)."""
+        if record.total_vectors == 0:
+            return 0.0
+        if not record.similarity_detection_on:
+            return self.baseline_cycles(record)
+
+        effective_hits = record.hits * self.dataflow.reuse_efficiency
+        computed = record.total_vectors - effective_hits
+        vectors_per_set = record.total_vectors / self.pe_sets
+        computed_per_set = computed / self.pe_sets
+
+        if not self.asynchronous and record.total_vectors > 0:
+            # Synchronous barrier: the slowest PE set gates every filter.
+            # Model the spread of per-set computed counts as binomial.
+            hit_probability = min(max(effective_hits / record.total_vectors, 0.0), 1.0)
+            spread = math.sqrt(max(hit_probability * (1.0 - hit_probability)
+                                   * vectors_per_set, 0.0))
+            computed_per_set += self.sync_imbalance_factor * spread
+
+        per_pair = self._dot_product_cycles(record.vector_length)
+        cycles = math.ceil(computed_per_set) * record.num_filters * per_pair
+
+        # Hitmap check / skip-control overhead for every vector.
+        cycles += (self.dataflow.per_vector_overhead
+                   * math.ceil(record.total_vectors / self.pe_sets))
+
+        if self.asynchronous:
+            cycles *= (1.0 + self.async_overhead)
+        return cycles
+
+    # ------------------------------------------------------------------
+    def layer_cycles(self, record: LayerReuseStats) -> LayerCycles:
+        """Full cycle breakdown for one (layer, phase) record."""
+        return LayerCycles(
+            layer=record.layer,
+            phase=record.phase,
+            baseline_cycles=self.baseline_cycles(record),
+            compute_cycles=self.compute_cycles(record),
+            signature_cycles=self.signature_cycles(record),
+            detection_on=record.similarity_detection_on,
+        )

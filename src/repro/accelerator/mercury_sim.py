@@ -1,0 +1,155 @@
+"""MERCURY accelerator simulation.
+
+:class:`MercurySimulator` consumes the per-layer reuse statistics of a
+functional run and produces the performance numbers the paper reports:
+per-layer and total cycle counts split into *signature* and *layer
+computation* cycles (Figure 14b / 15b), speedup over the baseline
+(Figure 14c / 18), MCACHE access-type characterisation (Figure 15a) and
+the layer on/off adaptivity counts (Figure 14a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import dataclasses
+
+from repro.accelerator.cost_model import CycleCostModel, LayerCycles
+from repro.accelerator.dataflow import Dataflow, make_dataflow
+from repro.core.config import MercuryConfig
+from repro.core.stats import LayerReuseStats, ReuseStats
+
+
+def replace_detection_off(record: LayerReuseStats) -> LayerReuseStats:
+    """Copy of a record as it would look with similarity detection off."""
+    clone = dataclasses.replace(record)
+    clone.similarity_detection_on = False
+    clone.hits = 0
+    clone.mnu = record.total_vectors
+    clone.mau = 0
+    clone.signature_computed_vectors = 0
+    clone.signature_reloaded_vectors = 0
+    return clone
+
+
+@dataclass
+class SimulationReport:
+    """Result of simulating one model's training workload."""
+
+    model_name: str
+    dataflow: str
+    layer_cycles: list[LayerCycles] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def baseline_total_cycles(self) -> float:
+        return sum(item.baseline_cycles for item in self.layer_cycles)
+
+    @property
+    def mercury_compute_cycles(self) -> float:
+        return sum(item.compute_cycles for item in self.layer_cycles)
+
+    @property
+    def mercury_signature_cycles(self) -> float:
+        return sum(item.signature_cycles for item in self.layer_cycles)
+
+    @property
+    def mercury_total_cycles(self) -> float:
+        return self.mercury_compute_cycles + self.mercury_signature_cycles
+
+    @property
+    def speedup(self) -> float:
+        if self.mercury_total_cycles == 0:
+            return 1.0
+        return self.baseline_total_cycles / self.mercury_total_cycles
+
+    @property
+    def signature_fraction(self) -> float:
+        """Share of MERCURY cycles spent generating signatures."""
+        total = self.mercury_total_cycles
+        if total == 0:
+            return 0.0
+        return self.mercury_signature_cycles / total
+
+    def cycle_breakdown(self) -> dict:
+        """The two stacked-bar components of Figure 14b."""
+        return {
+            "baseline": {"signature": 0.0,
+                         "layer_computation": self.baseline_total_cycles},
+            "mercury": {"signature": self.mercury_signature_cycles,
+                        "layer_computation": self.mercury_compute_cycles},
+        }
+
+    def layers_on_off(self) -> dict:
+        """Counts of layers with similarity detection on/off (Figure 14a)."""
+        layers_on = set()
+        layers_off = set()
+        for item in self.layer_cycles:
+            if item.detection_on:
+                layers_on.add(item.layer)
+            else:
+                layers_off.add(item.layer)
+        # A layer that was disabled mid-run appears in both; report the
+        # final state (off wins, matching the paper's end-of-training view).
+        layers_on -= layers_off
+        return {"on": len(layers_on), "off": len(layers_off)}
+
+    def per_layer_speedups(self) -> dict:
+        """Layer name -> speedup, merging forward and backward phases."""
+        by_layer: dict[str, dict[str, float]] = {}
+        for item in self.layer_cycles:
+            entry = by_layer.setdefault(item.layer,
+                                        {"baseline": 0.0, "mercury": 0.0})
+            entry["baseline"] += item.baseline_cycles
+            entry["mercury"] += item.mercury_cycles
+        return {layer: (values["baseline"] / values["mercury"]
+                        if values["mercury"] else 1.0)
+                for layer, values in by_layer.items()}
+
+
+class MercurySimulator:
+    """Turns functional reuse statistics into accelerator performance."""
+
+    def __init__(self, config: MercuryConfig | None = None,
+                 dataflow: Dataflow | None = None):
+        self.config = config or MercuryConfig()
+        self.dataflow = dataflow or make_dataflow(self.config.dataflow)
+        self.cost_model = CycleCostModel(
+            num_pes=self.config.num_pes,
+            dataflow=self.dataflow,
+            pipelined_signatures=self.config.pipelined_signatures,
+            asynchronous=self.config.asynchronous_pe_sets)
+
+    def simulate(self, stats: ReuseStats, model_name: str = "model",
+                 apply_analytic_stoppage: bool = False) -> SimulationReport:
+        """Produce the cycle report for one model's recorded workload.
+
+        With ``apply_analytic_stoppage`` the simulator applies the §III-D
+        profitability test to every record before costing it: when the
+        signature-generation work exceeds the work saved by reuse, that
+        layer/phase is treated as having similarity detection switched
+        off (computed at baseline cost with no signature overhead), which
+        is what the hardware's adaptation would converge to.
+        """
+        report = SimulationReport(model_name=model_name,
+                                  dataflow=self.dataflow.name)
+        for record in stats.all_records():
+            if apply_analytic_stoppage and record.similarity_detection_on:
+                if not self._profitable(record):
+                    record = replace_detection_off(record)
+            report.layer_cycles.append(self.cost_model.layer_cycles(record))
+        return report
+
+    def _profitable(self, record) -> bool:
+        """§III-D test: does reuse save more MAC work than RPQ costs?"""
+        signature_cost = (record.signature_computed_vectors
+                          * record.signature_bits * record.vector_length)
+        saved = (record.hits * record.vector_length * record.num_filters
+                 * self.dataflow.reuse_efficiency)
+        return saved > signature_cost
+
+    def speedup(self, stats: ReuseStats, model_name: str = "model",
+                apply_analytic_stoppage: bool = False) -> float:
+        """Convenience wrapper returning only the end-to-end speedup."""
+        return self.simulate(stats, model_name,
+                             apply_analytic_stoppage=apply_analytic_stoppage).speedup

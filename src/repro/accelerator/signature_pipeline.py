@@ -1,0 +1,77 @@
+"""Timing of signature calculation (§III-B2, Figure 8).
+
+For ``x`` by ``x`` input vectors processed by a PE set of ``x`` PEs:
+
+* **Without pipelining** every bit of every signature takes ``2x``
+  cycles (x multiply/accumulate cycles per row plus the vertical
+  accumulation), and bits do not overlap.
+* **With pipelining** (the ORg register plus staggered PE start times)
+  the first bit of the first signature takes ``2x + 1`` cycles and every
+  subsequent bit — of any signature produced by the same PE set — takes
+  only ``x`` cycles.
+
+Figure 8(c) is the ratio of the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def unpipelined_signature_cycles(num_signatures: int, bits_per_signature: int,
+                                 vector_rows: int) -> int:
+    """Cycles for one PE set to produce signatures without pipelining."""
+    _validate(num_signatures, bits_per_signature, vector_rows)
+    if num_signatures == 0 or bits_per_signature == 0:
+        return 0
+    return num_signatures * bits_per_signature * 2 * vector_rows
+
+
+def pipelined_signature_cycles(num_signatures: int, bits_per_signature: int,
+                               vector_rows: int) -> int:
+    """Cycles for one PE set to produce signatures with ORg pipelining."""
+    _validate(num_signatures, bits_per_signature, vector_rows)
+    if num_signatures == 0 or bits_per_signature == 0:
+        return 0
+    total_bits = num_signatures * bits_per_signature
+    return (2 * vector_rows + 1) + (total_bits - 1) * vector_rows
+
+
+def _validate(num_signatures: int, bits_per_signature: int,
+              vector_rows: int) -> None:
+    if num_signatures < 0 or bits_per_signature < 0:
+        raise ValueError("counts must be non-negative")
+    if vector_rows <= 0:
+        raise ValueError("vector_rows must be positive")
+
+
+@dataclass
+class SignaturePipelineModel:
+    """Convenience wrapper evaluating both schedules and their speedup."""
+
+    vector_rows: int = 3
+    pipelined: bool = True
+
+    def cycles(self, num_signatures: int, bits_per_signature: int) -> int:
+        if self.pipelined:
+            return pipelined_signature_cycles(num_signatures,
+                                              bits_per_signature,
+                                              self.vector_rows)
+        return unpipelined_signature_cycles(num_signatures,
+                                            bits_per_signature,
+                                            self.vector_rows)
+
+    def speedup_from_pipelining(self, num_signatures: int,
+                                bits_per_signature: int) -> float:
+        """Figure 8(c): unpipelined cycles / pipelined cycles."""
+        base = unpipelined_signature_cycles(num_signatures, bits_per_signature,
+                                            self.vector_rows)
+        fast = pipelined_signature_cycles(num_signatures, bits_per_signature,
+                                          self.vector_rows)
+        if fast == 0:
+            return 1.0
+        return base / fast
+
+    def steady_state_cycles_per_bit(self) -> tuple[int, int]:
+        """(unpipelined, pipelined) asymptotic cycles per signature bit."""
+        return 2 * self.vector_rows, self.vector_rows

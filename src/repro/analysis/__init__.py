@@ -1,0 +1,18 @@
+"""Characterisation utilities (similarity measurement and reporting)."""
+
+from repro.analysis.similarity import (
+    LayerSimilarity,
+    measure_layer_similarity,
+    measure_unique_vectors,
+    rpq_unique_vector_experiment,
+)
+from repro.analysis.reporting import format_table, geomean
+
+__all__ = [
+    "LayerSimilarity",
+    "measure_layer_similarity",
+    "measure_unique_vectors",
+    "rpq_unique_vector_experiment",
+    "format_table",
+    "geomean",
+]

@@ -1,0 +1,41 @@
+"""Plain-text table formatting and small statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's aggregate for speedups)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers, rows, float_format: str = "{:.3f}") -> str:
+    """Render a list-of-rows table as aligned monospace text."""
+    headers = [str(h) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [render_line(headers), render_line(["-" * w for w in widths])]
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Input / gradient similarity characterisation (Figures 1, 3 and 15c).
+
+Similarity is measured exactly as the paper does: a vector counts as
+*similar* when its RPQ signature matches the signature of an earlier
+vector in the same set.  An unconstrained MCACHE (large enough that no
+insertion is ever refused) turns the reuse engine's HIT fraction into
+precisely that quantity, so these helpers run one forward/backward pass
+through a model with such an engine attached and read the statistics
+back out per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MercuryConfig
+from repro.core.reuse import ReuseEngine
+from repro.core.rpq import RPQHasher
+from repro.nn.losses import CrossEntropyLoss
+
+
+@dataclass
+class LayerSimilarity:
+    """Similarity measured for one layer."""
+
+    layer: str
+    input_similarity: float
+    gradient_similarity: float
+    unique_input_vectors: int
+    total_input_vectors: int
+
+
+def _unconstrained_engine(signature_bits: int, seed: int = 1234) -> ReuseEngine:
+    """A reuse engine whose MCACHE never refuses an insertion."""
+    config = MercuryConfig(signature_bits=signature_bits,
+                           mcache_entries=1 << 16, mcache_ways=1 << 16,
+                           adaptive_signature_length=False,
+                           adaptive_stoppage=False,
+                           rpq_seed=seed)
+    return ReuseEngine(config)
+
+
+def measure_layer_similarity(model, inputs: np.ndarray, targets: np.ndarray,
+                             signature_bits: int = 20,
+                             layer_filter: str = "Conv2D") -> list[LayerSimilarity]:
+    """Per-layer input and gradient similarity for one training batch.
+
+    Runs one forward and one backward pass with an unconstrained reuse
+    engine attached and reports, for every layer whose name contains
+    ``layer_filter``, the fraction of forward input vectors (and of
+    backward gradient vectors) whose signature repeats an earlier one.
+    """
+    engine = _unconstrained_engine(signature_bits)
+    previous_engines = [m.engine for m in model.modules()]
+    model.set_engine(engine)
+    try:
+        loss_fn = CrossEntropyLoss()
+        logits = model(inputs)
+        loss_fn(logits, targets)
+        model.zero_grad()
+        model.backward(loss_fn.backward())
+    finally:
+        for module, previous in zip(model.modules(), previous_engines):
+            module.engine = previous
+
+    results = []
+    for layer in engine.stats.layers():
+        if layer_filter and layer_filter not in layer:
+            continue
+        forward = engine.stats.get(layer, "forward")
+        backward = engine.stats.get(layer, "backward")
+        if forward is None:
+            continue
+        results.append(LayerSimilarity(
+            layer=layer,
+            input_similarity=forward.hit_fraction,
+            gradient_similarity=backward.hit_fraction if backward else 0.0,
+            unique_input_vectors=forward.unique_signatures,
+            total_input_vectors=forward.total_vectors))
+    return results
+
+
+def measure_unique_vectors(vectors: np.ndarray, signature_bits: int,
+                           seed: int = 1234) -> int:
+    """Number of distinct RPQ signatures among ``vectors``."""
+    hasher = RPQHasher(seed=seed)
+    return hasher.unique_vector_count(vectors, signature_bits)
+
+
+def rpq_unique_vector_experiment(signature_bits: int, *, num_unique: int = 10,
+                                 copies_per_vector: int = 10,
+                                 dimension: int = 10,
+                                 epsilon: float = 0.01,
+                                 seed: int = 3) -> int:
+    """The Figure 3 experiment for RPQ.
+
+    Generates ``num_unique`` random vectors, adds ``copies_per_vector``
+    perturbed copies of each (element-wise noise of scale ``epsilon``)
+    and reports how many unique vectors RPQ finds with the given
+    signature length.  The ideal answer is ``num_unique``.
+    """
+    rng = np.random.default_rng(seed)
+    originals = rng.normal(0.0, 1.0, size=(num_unique, dimension))
+    population = [originals]
+    for _ in range(copies_per_vector):
+        population.append(originals + rng.normal(0.0, epsilon,
+                                                 size=originals.shape))
+    vectors = np.concatenate(population, axis=0)
+    return measure_unique_vectors(vectors, signature_bits, seed=seed)

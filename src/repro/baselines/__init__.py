@@ -1,0 +1,16 @@
+"""Comparison schemes used by the paper's evaluation (§VII-D and Fig. 3)."""
+
+from repro.baselines.bloom import BloomFilter, BloomFilterSimilarity
+from repro.baselines.capture import CaptureEngine
+from repro.baselines.ucnn import UCNNBound
+from repro.baselines.zero_pruning import ZeroPruningBound
+from repro.baselines.unlimited_similarity import UnlimitedSimilarityBound
+
+__all__ = [
+    "BloomFilter",
+    "BloomFilterSimilarity",
+    "CaptureEngine",
+    "UCNNBound",
+    "ZeroPruningBound",
+    "UnlimitedSimilarityBound",
+]

@@ -1,0 +1,52 @@
+"""A compute engine that records every (vectors, weights) pair it sees.
+
+The UCNN, zero-pruning and unlimited-similarity bounds all need the raw
+operands of every dot-product stage of a model — exactly the calls a
+layer would route to the MERCURY reuse engine.  ``CaptureEngine``
+performs the exact computation (no reuse) while keeping references to
+the operands for later analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CaptureEngine:
+    """Exact matmul engine that archives operands per (layer, phase)."""
+
+    def __init__(self, capture_backward: bool = True):
+        self.capture_backward = capture_backward
+        # (layer, phase) -> list of (vectors, weights)
+        self.captured: dict[tuple[str, str], list] = {}
+
+    def matmul(self, vectors: np.ndarray, weights: np.ndarray, *,
+               layer: str, phase: str = "forward") -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if phase == "forward" or self.capture_backward:
+            self.captured.setdefault((layer, phase), []).append((vectors, weights))
+        return vectors @ weights
+
+    def end_iteration(self, loss: float | None = None) -> None:
+        """Interface parity with the reuse engine; nothing to adapt."""
+
+    # ------------------------------------------------------------------
+    def layers(self, phase: str = "forward") -> list[str]:
+        return [layer for (layer, rec_phase) in self.captured
+                if rec_phase == phase]
+
+    def operands(self, layer: str, phase: str = "forward") -> list:
+        return self.captured.get((layer, phase), [])
+
+    def total_macs(self, phase: str | None = None) -> int:
+        total = 0
+        for (_, rec_phase), calls in self.captured.items():
+            if phase is not None and rec_phase != phase:
+                continue
+            for vectors, weights in calls:
+                total += vectors.shape[0] * vectors.shape[1] * weights.shape[1]
+        return total
+
+    def clear(self) -> None:
+        self.captured.clear()

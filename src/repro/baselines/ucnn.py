@@ -1,0 +1,99 @@
+"""UCNN comparison (Figure 17a).
+
+UCNN [Hegde et al., ISCA'18] exploits *weight repetition*: after
+quantising a filter to a small number of bits, many weights share the
+same value, so the dot product can be factorised — activations that
+multiply the same weight value are summed first and multiplied once.
+
+The original implementation is not public; the paper therefore compares
+against the *maximum achievable* saving of UCNN for 6/7/8-bit
+quantisation, and this module reproduces that methodology: for every
+captured dot-product stage it quantises the weights, counts the unique
+weight values per filter, and charges one multiplication per unique
+value plus the unavoidable additions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.capture import CaptureEngine
+
+
+@dataclass
+class UCNNLayerReport:
+    layer: str
+    baseline_ops: float
+    reduced_ops: float
+
+    @property
+    def speedup(self) -> float:
+        if self.reduced_ops == 0:
+            return 1.0
+        return self.baseline_ops / self.reduced_ops
+
+
+class UCNNBound:
+    """Maximum-achievable UCNN speedup under uniform weight quantisation."""
+
+    def __init__(self, quantization_bits: int = 8):
+        if not 1 <= quantization_bits <= 16:
+            raise ValueError("quantization_bits must be between 1 and 16")
+        self.quantization_bits = quantization_bits
+
+    # ------------------------------------------------------------------
+    def quantize(self, weights: np.ndarray) -> np.ndarray:
+        """Uniform symmetric quantisation to ``quantization_bits`` bits."""
+        weights = np.asarray(weights, dtype=np.float64)
+        max_abs = np.max(np.abs(weights))
+        if max_abs == 0:
+            return np.zeros_like(weights, dtype=np.int64)
+        levels = 2 ** (self.quantization_bits - 1) - 1
+        return np.round(weights / max_abs * levels).astype(np.int64)
+
+    def layer_report(self, layer: str, vectors: np.ndarray,
+                     weights: np.ndarray) -> UCNNLayerReport:
+        """Operation counts for one dot-product stage.
+
+        Baseline: every vector x filter dot product costs K multiplies
+        and K-1 additions.  UCNN's bound: per filter only ``unique``
+        multiplies remain (one per distinct quantised weight value) while
+        the additions stay (activation-group sums plus the final merge).
+        """
+        num_vectors, vector_length = vectors.shape
+        num_filters = weights.shape[1]
+        quantised = self.quantize(weights)
+
+        baseline_ops = num_vectors * num_filters * (2 * vector_length - 1)
+        reduced_ops = 0.0
+        for filter_index in range(num_filters):
+            unique_values = np.unique(quantised[:, filter_index])
+            unique_nonzero = int(np.count_nonzero(unique_values))
+            multiplies = max(unique_nonzero, 1)
+            additions = vector_length - 1
+            reduced_ops += num_vectors * (multiplies + additions)
+        return UCNNLayerReport(layer=layer, baseline_ops=float(baseline_ops),
+                               reduced_ops=float(reduced_ops))
+
+    # ------------------------------------------------------------------
+    def model_speedup(self, capture: CaptureEngine,
+                      phase: str = "forward") -> float:
+        """Aggregate maximum speedup over all captured stages."""
+        reports = self.model_reports(capture, phase)
+        baseline = sum(report.baseline_ops for report in reports)
+        reduced = sum(report.reduced_ops for report in reports)
+        if reduced == 0:
+            return 1.0
+        return baseline / reduced
+
+    def model_reports(self, capture: CaptureEngine,
+                      phase: str = "forward") -> list[UCNNLayerReport]:
+        reports = []
+        for (layer, rec_phase), calls in capture.captured.items():
+            if rec_phase != phase:
+                continue
+            for vectors, weights in calls:
+                reports.append(self.layer_report(layer, vectors, weights))
+        return reports

@@ -1,0 +1,72 @@
+"""Unlimited zero pruning (Figure 17b).
+
+The comparison point assumes an ideal accelerator that skips *every*
+multiply-accumulate whose input activation or weight is zero, with no
+detection or bypass overhead — a strict upper bound on sparsity-based
+training accelerators such as TensorDash.  The speedup is simply the
+ratio of all MACs to MACs whose both operands are non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.capture import CaptureEngine
+
+
+@dataclass
+class ZeroPruningLayerReport:
+    layer: str
+    total_macs: float
+    effectual_macs: float
+
+    @property
+    def speedup(self) -> float:
+        if self.effectual_macs == 0:
+            return float(self.total_macs) if self.total_macs else 1.0
+        return self.total_macs / self.effectual_macs
+
+
+class ZeroPruningBound:
+    """Ideal zero-skipping over both inputs and weights."""
+
+    def __init__(self, zero_threshold: float = 0.0):
+        if zero_threshold < 0:
+            raise ValueError("zero_threshold must be non-negative")
+        self.zero_threshold = zero_threshold
+
+    def _nonzero_fraction(self, array: np.ndarray) -> float:
+        return float(np.mean(np.abs(array) > self.zero_threshold))
+
+    def layer_report(self, layer: str, vectors: np.ndarray,
+                     weights: np.ndarray) -> ZeroPruningLayerReport:
+        """MAC counts for one dot-product stage.
+
+        A MAC survives only when both its activation element and its
+        weight element are non-zero; with independent positions the
+        effectual fraction is the product of the two non-zero densities
+        (exact for the expectation, which is all the bound needs).
+        """
+        num_vectors, vector_length = vectors.shape
+        num_filters = weights.shape[1]
+        total = float(num_vectors * vector_length * num_filters)
+        density = self._nonzero_fraction(vectors) * self._nonzero_fraction(weights)
+        return ZeroPruningLayerReport(layer=layer, total_macs=total,
+                                      effectual_macs=total * density)
+
+    def model_speedup(self, capture: CaptureEngine,
+                      phase: str | None = None) -> float:
+        total = 0.0
+        effectual = 0.0
+        for (layer, rec_phase), calls in capture.captured.items():
+            if phase is not None and rec_phase != phase:
+                continue
+            for vectors, weights in calls:
+                report = self.layer_report(layer, vectors, weights)
+                total += report.total_macs
+                effectual += report.effectual_macs
+        if effectual == 0:
+            return 1.0
+        return total / effectual

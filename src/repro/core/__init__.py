@@ -1,0 +1,26 @@
+"""MERCURY core: RPQ signatures, MCACHE, Hitmap and the reuse engine."""
+
+from repro.core.config import MercuryConfig
+from repro.core.rpq import RPQHasher, pack_bits, signature_via_convolution
+from repro.core.signature import SignatureTable
+from repro.core.hitmap import Hitmap, HitState
+from repro.core.mcache import MCache
+from repro.core.reuse import ReuseEngine
+from repro.core.stats import LayerReuseStats, ReuseStats
+from repro.core.adaptation import SignatureLengthScheduler, SimilarityStoppage
+
+__all__ = [
+    "MercuryConfig",
+    "RPQHasher",
+    "pack_bits",
+    "signature_via_convolution",
+    "SignatureTable",
+    "Hitmap",
+    "HitState",
+    "MCache",
+    "ReuseEngine",
+    "LayerReuseStats",
+    "ReuseStats",
+    "SignatureLengthScheduler",
+    "SimilarityStoppage",
+]

@@ -1,0 +1,85 @@
+"""Configuration for the MERCURY scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MercuryConfig:
+    """All tunables of the MERCURY design.
+
+    Defaults follow the paper's chosen configuration: an initial 20-bit
+    signature that grows as training converges, a 1024-entry 16-way
+    MCACHE with no replacement, and adaptation thresholds ``K`` (loss
+    plateau length before growing the signature) and ``T`` (consecutive
+    costly batches before a layer's similarity detection is switched
+    off).
+    """
+
+    # --- Signature / RPQ ------------------------------------------------
+    signature_bits: int = 20
+    max_signature_bits: int = 64
+    rpq_seed: int = 1234
+
+    # --- MCACHE ---------------------------------------------------------
+    mcache_entries: int = 1024
+    mcache_ways: int = 16
+    # Number of data versions per line (asynchronous design keeps one
+    # version per in-flight filter); the synchronous design uses 1.
+    mcache_versions: int = 1
+
+    # --- Adaptation (§III-D) ---------------------------------------------
+    # Increase signature length by one bit when the running loss changes
+    # by less than ``loss_plateau_tolerance`` for ``plateau_iterations``
+    # (the paper's K) consecutive iterations.
+    plateau_iterations: int = 5
+    loss_plateau_tolerance: float = 1e-3
+    # Turn a layer's similarity detection off when signature cost
+    # exceeds the saved cycles for ``stoppage_batches`` (the paper's T)
+    # consecutive batches.
+    stoppage_batches: int = 3
+    adaptive_signature_length: bool = True
+    adaptive_stoppage: bool = True
+
+    # --- Reuse scope ------------------------------------------------------
+    reuse_forward: bool = True
+    reuse_backward: bool = True
+    # Reload forward signatures in backward when the vector length
+    # matches (§III-C2); otherwise recompute.
+    reload_signatures_in_backward: bool = True
+    # Convolution signature granularity: signatures are computed over
+    # k x k patches of this many input channels at a time (1 = one
+    # channel, as in §III-B, where signatures are recalculated whenever
+    # a new channel is processed).  ``None`` hashes the whole
+    # cross-channel patch in one signature.
+    conv_channel_group: int | None = 1
+
+    # --- Accelerator ------------------------------------------------------
+    dataflow: str = "row_stationary"
+    num_pes: int = 168
+    pipelined_signatures: bool = True
+    asynchronous_pe_sets: bool = True
+
+    def __post_init__(self):
+        if self.signature_bits <= 0:
+            raise ValueError("signature_bits must be positive")
+        if self.signature_bits > self.max_signature_bits:
+            raise ValueError("signature_bits cannot exceed max_signature_bits")
+        if self.mcache_entries <= 0 or self.mcache_ways <= 0:
+            raise ValueError("MCACHE entries and ways must be positive")
+        if self.mcache_entries % self.mcache_ways != 0:
+            raise ValueError("mcache_entries must be divisible by mcache_ways")
+        if self.dataflow not in ("row_stationary", "weight_stationary",
+                                 "input_stationary"):
+            raise ValueError(f"unknown dataflow {self.dataflow!r}")
+
+    @property
+    def mcache_sets(self) -> int:
+        """Number of sets in the MCACHE."""
+        return self.mcache_entries // self.mcache_ways
+
+    def replace(self, **changes) -> "MercuryConfig":
+        """Return a copy with the given fields changed."""
+        from dataclasses import replace as dc_replace
+        return dc_replace(self, **changes)

@@ -1,0 +1,96 @@
+"""The Hitmap: per-input-vector HIT / MAU / MNU marks.
+
+The Hitmap is what keeps the accelerator dataflow regular in spite of
+skipped computations (§III-B3): before a PE set starts the dot products
+for an input vector it consults the Hitmap entry —
+
+* ``HIT``  — an earlier vector produced the same signature and its
+  results live in MCACHE; the dot product is skipped.
+* ``MAU``  — *miss and update*: the signature was inserted into MCACHE,
+  so the PE set must compute and store its result.
+* ``MNU``  — *miss no update*: the MCACHE set was full, the signature
+  was not inserted; compute but do not store.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class HitState(Enum):
+    """State of one Hitmap entry."""
+
+    HIT = "HIT"
+    MAU = "MAU"
+    MNU = "MNU"
+
+
+class Hitmap:
+    """A per-vector array of :class:`HitState` values with counters."""
+
+    def __init__(self, num_vectors: int):
+        if num_vectors < 0:
+            raise ValueError("num_vectors must be non-negative")
+        self.num_vectors = num_vectors
+        self._states: list[HitState | None] = [None] * num_vectors
+        # For HIT entries, index of the earlier vector whose results are
+        # reused (the MAU vector holding the matching signature).
+        self._source: list[int | None] = [None] * num_vectors
+
+    def set(self, index: int, state: HitState, source: int | None = None) -> None:
+        """Record the state of vector ``index``.
+
+        ``source`` is required for HIT entries and must point at an
+        earlier vector.
+        """
+        if not 0 <= index < self.num_vectors:
+            raise IndexError(f"vector index {index} out of range")
+        if state is HitState.HIT:
+            if source is None:
+                raise ValueError("HIT entries need the source vector index")
+            if not 0 <= source < index:
+                raise ValueError("HIT source must be an earlier vector")
+        self._states[index] = state
+        self._source[index] = source
+
+    def get(self, index: int) -> HitState:
+        state = self._states[index]
+        if state is None:
+            raise KeyError(f"vector {index} has no Hitmap entry yet")
+        return state
+
+    def source(self, index: int) -> int | None:
+        """For a HIT entry, the earlier vector whose result is reused."""
+        return self._source[index]
+
+    def is_complete(self) -> bool:
+        """True when every vector has been marked."""
+        return all(state is not None for state in self._states)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict:
+        """Counts of each state (and of unmarked entries)."""
+        result = {HitState.HIT: 0, HitState.MAU: 0, HitState.MNU: 0, None: 0}
+        for state in self._states:
+            result[state] += 1
+        return result
+
+    def hit_fraction(self) -> float:
+        """Fraction of vectors marked HIT (reused computations)."""
+        if self.num_vectors == 0:
+            return 0.0
+        return self.counts()[HitState.HIT] / self.num_vectors
+
+    def states_array(self) -> np.ndarray:
+        """States as an object array (for vectorised consumers)."""
+        return np.array(self._states, dtype=object)
+
+    def sources_array(self) -> np.ndarray:
+        """Reuse sources as an int array; -1 where not a HIT."""
+        return np.array([-1 if s is None else s for s in self._source],
+                        dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.num_vectors

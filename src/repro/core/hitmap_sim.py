@@ -1,0 +1,164 @@
+"""Vectorised simulation of the signature phase.
+
+The object-level :class:`~repro.core.mcache.MCache` models the hardware
+structure line by line; probing it once per vector from Python is exact
+but slow for the tens of thousands of vectors a convolution layer
+produces.  ``simulate_hitmap`` reproduces the *same* HIT / MAU / MNU
+decisions (the test suite checks equivalence against the line-level
+model) using numpy group-by operations:
+
+* the first occurrence of a signature whose set still has a free way is
+  MAU and owns the cache line;
+* later occurrences of an inserted signature are HIT and point at the
+  owner;
+* occurrences of a signature whose set was already full at its first
+  occurrence are MNU (no replacement — Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hitmap import Hitmap, HitState
+
+
+@dataclass
+class HitmapSimulation:
+    """Outcome of the signature phase for one set of vectors."""
+
+    states: np.ndarray          # object array of HitState
+    representative: np.ndarray  # int array; HIT rows point at their source
+    hits: int
+    mau: int
+    mnu: int
+    unique_signatures: int
+
+    def to_hitmap(self) -> Hitmap:
+        """Materialise a :class:`Hitmap` without per-entry validation cost."""
+        hitmap = Hitmap(len(self.states))
+        hitmap._states = list(self.states)
+        hitmap._source = [int(src) if state is HitState.HIT else None
+                          for state, src in zip(self.states, self.representative)]
+        return hitmap
+
+
+def simulate_hitmap(signatures: np.ndarray, num_sets: int,
+                    ways: int) -> HitmapSimulation:
+    """Classify every signature as HIT, MAU or MNU.
+
+    Parameters
+    ----------
+    signatures:
+        Packed integer signatures in arrival order.
+    num_sets, ways:
+        MCACHE geometry; insertion into a set stops once ``ways``
+        distinct signatures have claimed its lines.
+    """
+    if num_sets <= 0 or ways <= 0:
+        raise ValueError("num_sets and ways must be positive")
+    signatures = np.asarray(signatures)
+    num_vectors = len(signatures)
+
+    if num_vectors == 0:
+        return HitmapSimulation(states=np.empty(0, dtype=object),
+                                representative=np.empty(0, dtype=np.int64),
+                                hits=0, mau=0, mnu=0, unique_signatures=0)
+
+    try:
+        as_int64 = signatures.astype(np.int64)
+        if not np.array_equal(as_int64.astype(object), signatures.astype(object)):
+            raise OverflowError
+        return _simulate_vectorised(as_int64, num_sets, ways)
+    except (OverflowError, TypeError, ValueError):
+        return _simulate_sequential(signatures, num_sets, ways)
+
+
+def _simulate_vectorised(signatures: np.ndarray, num_sets: int,
+                         ways: int) -> HitmapSimulation:
+    """numpy group-by implementation for signatures that fit in int64."""
+    num_vectors = len(signatures)
+    unique_values, first_index, inverse = np.unique(
+        signatures, return_index=True, return_inverse=True)
+
+    # Decide which unique signatures win a cache line: order them by
+    # first occurrence and admit the first `ways` per set.
+    unique_sets = unique_values % num_sets
+    arrival_order = np.argsort(first_index, kind="stable")
+    sets_in_arrival = unique_sets[arrival_order]
+
+    by_set = np.argsort(sets_in_arrival, kind="stable")
+    sorted_sets = sets_in_arrival[by_set]
+    new_group = np.ones(len(sorted_sets), dtype=bool)
+    new_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
+    group_starts = np.flatnonzero(new_group)
+    group_ids = np.cumsum(new_group) - 1
+    rank_within_set = np.arange(len(sorted_sets)) - group_starts[group_ids]
+
+    inserted_in_arrival = np.empty(len(sorted_sets), dtype=bool)
+    inserted_in_arrival[by_set] = rank_within_set < ways
+    inserted_unique = np.empty(len(unique_values), dtype=bool)
+    inserted_unique[arrival_order] = inserted_in_arrival
+
+    is_first = np.zeros(num_vectors, dtype=bool)
+    is_first[first_index] = True
+    vector_inserted = inserted_unique[inverse]
+
+    hit_mask = vector_inserted & ~is_first
+    mau_mask = vector_inserted & is_first
+    mnu_mask = ~vector_inserted
+
+    states = np.empty(num_vectors, dtype=object)
+    states[hit_mask] = HitState.HIT
+    states[mau_mask] = HitState.MAU
+    states[mnu_mask] = HitState.MNU
+
+    representative = np.arange(num_vectors, dtype=np.int64)
+    representative[hit_mask] = first_index[inverse[hit_mask]]
+
+    return HitmapSimulation(states=states, representative=representative,
+                            hits=int(hit_mask.sum()), mau=int(mau_mask.sum()),
+                            mnu=int(mnu_mask.sum()),
+                            unique_signatures=len(unique_values))
+
+
+def _simulate_sequential(signatures: np.ndarray, num_sets: int,
+                         ways: int) -> HitmapSimulation:
+    """Reference implementation used for arbitrarily long signatures."""
+    num_vectors = len(signatures)
+    states = np.empty(num_vectors, dtype=object)
+    representative = np.arange(num_vectors, dtype=np.int64)
+
+    set_occupancy: dict[int, int] = {}
+    owner_of_signature: dict[int, int] = {}
+    rejected: set[int] = set()
+    hits = mau = mnu = 0
+
+    for index in range(num_vectors):
+        signature = int(signatures[index])
+        if signature in owner_of_signature:
+            states[index] = HitState.HIT
+            representative[index] = owner_of_signature[signature]
+            hits += 1
+            continue
+        if signature in rejected:
+            states[index] = HitState.MNU
+            mnu += 1
+            continue
+        set_index = signature % num_sets
+        occupancy = set_occupancy.get(set_index, 0)
+        if occupancy < ways:
+            set_occupancy[set_index] = occupancy + 1
+            owner_of_signature[signature] = index
+            states[index] = HitState.MAU
+            mau += 1
+        else:
+            rejected.add(signature)
+            states[index] = HitState.MNU
+            mnu += 1
+
+    unique = len(owner_of_signature) + len(rejected)
+    return HitmapSimulation(states=states, representative=representative,
+                            hits=hits, mau=mau, mnu=mnu,
+                            unique_signatures=unique)

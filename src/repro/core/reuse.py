@@ -1,0 +1,210 @@
+"""The MERCURY reuse engine.
+
+:class:`ReuseEngine` is the functional model of MERCURY: every dot
+product a layer would perform is routed through :meth:`ReuseEngine.matmul`,
+which
+
+1. computes (or reloads) RPQ signatures for the incoming vectors,
+2. probes a freshly-cleared MCACHE with each signature to build the
+   Hitmap (HIT / MAU / MNU),
+3. executes the dot products of MAU and MNU vectors exactly and *copies*
+   the already-computed result for HIT vectors, and
+4. records per-layer statistics that the accelerator cycle model and the
+   adaptation policies consume.
+
+This mirrors the paper's split: the functional effect of MERCURY (which
+results are reused, and therefore how training accuracy is affected) is
+independent of the hardware timing, which lives in
+:mod:`repro.accelerator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptation import SignatureLengthScheduler, SimilarityStoppage
+from repro.core.config import MercuryConfig
+from repro.core.hitmap import Hitmap, HitState
+from repro.core.hitmap_sim import HitmapSimulation, simulate_hitmap
+from repro.core.rpq import RPQHasher
+from repro.core.signature import SignatureTable
+from repro.core.stats import ReuseStats
+
+
+class ExactCountingEngine:
+    """A drop-in engine that performs exact matmuls but records layer shapes.
+
+    Used to characterise the baseline accelerator: it sees exactly the
+    same stream of (vectors, weights) calls as the reuse engine, so the
+    cycle model can charge the baseline cost for each of them.
+    """
+
+    def __init__(self):
+        self.stats = ReuseStats()
+
+    def matmul(self, vectors: np.ndarray, weights: np.ndarray, *,
+               layer: str, phase: str = "forward") -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        record = self.stats.record_for(layer, phase)
+        record.merge_call(vectors=vectors.shape[0], hits=0, mau=0,
+                          mnu=vectors.shape[0],
+                          vector_length=vectors.shape[1],
+                          num_filters=weights.shape[1],
+                          signature_bits=0,
+                          unique_signatures=vectors.shape[0],
+                          detection_on=False)
+        return vectors @ weights
+
+    def end_iteration(self, loss: float | None = None) -> None:
+        """No adaptation for the baseline; kept for interface parity."""
+
+
+class ReuseEngine:
+    """Functional MERCURY: signature-based grouping of dot products."""
+
+    def __init__(self, config: MercuryConfig | None = None):
+        self.config = config or MercuryConfig()
+        self.hasher = RPQHasher(seed=self.config.rpq_seed)
+        self.signature_table = SignatureTable()
+        self.stats = ReuseStats()          # cumulative over the run
+        self.batch_stats = ReuseStats()    # reset at every end_iteration
+        self.scheduler = SignatureLengthScheduler(
+            initial_bits=self.config.signature_bits,
+            max_bits=self.config.max_signature_bits,
+            plateau_iterations=self.config.plateau_iterations,
+            tolerance=self.config.loss_plateau_tolerance)
+        self.stoppage = SimilarityStoppage(
+            stoppage_batches=self.config.stoppage_batches,
+            pipelined_signatures=self.config.pipelined_signatures)
+        self.iterations = 0
+        # Last Hitmap simulation per (layer, phase), exposed for tests
+        # and for the accelerator simulator (call ``.to_hitmap()`` for a
+        # full Hitmap object).
+        self.last_simulations: dict[tuple[str, str], HitmapSimulation] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def signature_bits(self) -> int:
+        """Signature length currently in force (grows via adaptation)."""
+        return self.scheduler.bits
+
+    def _detection_enabled(self, layer: str, phase: str) -> bool:
+        if phase == "forward" and not self.config.reuse_forward:
+            return False
+        if phase == "backward" and not self.config.reuse_backward:
+            return False
+        if (self.config.adaptive_stoppage
+                and not self.stoppage.is_enabled_for(layer, phase)):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _signatures_for(self, vectors: np.ndarray, layer: str,
+                        phase: str) -> tuple[np.ndarray, bool]:
+        """Return signatures, reloading forward ones in backward if legal."""
+        num_vectors, vector_length = vectors.shape
+        if (phase == "backward"
+                and self.config.reload_signatures_in_backward):
+            record = self.signature_table.lookup(layer, vector_length,
+                                                 num_vectors)
+            if record is not None:
+                return record.signatures, True
+        signatures = self.hasher.signatures(vectors, self.signature_bits)
+        return signatures, False
+
+    def _build_hitmap(self, signatures: np.ndarray) -> HitmapSimulation:
+        """Simulate the MCACHE signature phase for every vector (Figure 9)."""
+        return simulate_hitmap(signatures,
+                               num_sets=self.config.mcache_sets,
+                               ways=self.config.mcache_ways)
+
+    # ------------------------------------------------------------------
+    def matmul(self, vectors: np.ndarray, weights: np.ndarray, *,
+               layer: str, phase: str = "forward") -> np.ndarray:
+        """Multiply ``vectors`` (rows) by ``weights`` with signature reuse."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if vectors.ndim != 2 or weights.ndim != 2:
+            raise ValueError("matmul expects 2D vectors and weights")
+        if vectors.shape[1] != weights.shape[0]:
+            raise ValueError(
+                f"shape mismatch: vectors {vectors.shape} x weights {weights.shape}")
+
+        num_vectors, vector_length = vectors.shape
+        num_filters = weights.shape[1]
+
+        if not self._detection_enabled(layer, phase):
+            result = vectors @ weights
+            self._record(layer, phase, vectors=num_vectors, hits=0, mau=0,
+                         mnu=num_vectors, vector_length=vector_length,
+                         num_filters=num_filters, unique=num_vectors,
+                         detection_on=False)
+            return result
+
+        signatures, reloaded = self._signatures_for(vectors, layer, phase)
+        simulation = self._build_hitmap(signatures)
+
+        hit_mask = simulation.states == HitState.HIT
+        compute_mask = ~hit_mask
+
+        result = np.empty((num_vectors, num_filters), dtype=np.float64)
+        result[compute_mask] = vectors[compute_mask] @ weights
+        if hit_mask.any():
+            result[hit_mask] = result[simulation.representative[hit_mask]]
+
+        if phase == "forward":
+            self.signature_table.store(layer, vector_length,
+                                       self.signature_bits, signatures,
+                                       simulation)
+        self.last_simulations[(layer, phase)] = simulation
+
+        self._record(layer, phase, vectors=num_vectors,
+                     hits=simulation.hits, mau=simulation.mau,
+                     mnu=simulation.mnu, vector_length=vector_length,
+                     num_filters=num_filters,
+                     unique=simulation.unique_signatures,
+                     detection_on=True, signatures_reloaded=reloaded)
+        return result
+
+    # ------------------------------------------------------------------
+    def _record(self, layer: str, phase: str, *, vectors: int, hits: int,
+                mau: int, mnu: int, vector_length: int, num_filters: int,
+                unique: int, detection_on: bool,
+                signatures_reloaded: bool = False) -> None:
+        for stats in (self.stats, self.batch_stats):
+            record = stats.record_for(layer, phase)
+            record.merge_call(vectors=vectors, hits=hits, mau=mau, mnu=mnu,
+                              vector_length=vector_length,
+                              num_filters=num_filters,
+                              signature_bits=self.signature_bits,
+                              unique_signatures=unique,
+                              detection_on=detection_on,
+                              signatures_reloaded=signatures_reloaded)
+
+    # ------------------------------------------------------------------
+    def end_iteration(self, loss: float | None = None) -> None:
+        """Close out one training iteration.
+
+        Feeds the loss to the signature-length scheduler and the batch
+        statistics to the per-layer stoppage policy, then clears the
+        per-batch statistics.
+        """
+        self.iterations += 1
+        if loss is not None and self.config.adaptive_signature_length:
+            self.scheduler.observe_loss(float(loss))
+        if self.config.adaptive_stoppage:
+            for record in self.batch_stats.all_records():
+                if record.similarity_detection_on:
+                    self.stoppage.observe_batch(record)
+        self.batch_stats = ReuseStats()
+
+    # ------------------------------------------------------------------
+    def disabled_layers(self) -> list[str]:
+        """Layers whose similarity detection has been switched off."""
+        return self.stoppage.disabled_layers()
+
+    def reset_statistics(self) -> None:
+        self.stats = ReuseStats()
+        self.batch_stats = ReuseStats()
+        self.last_simulations.clear()

@@ -1,0 +1,175 @@
+"""Random Projection with Quantization (RPQ).
+
+RPQ multiplies an input vector ``X`` (1 x m) with a random matrix ``R``
+(m x n) whose entries are drawn from N(0, 1) and quantizes each element
+of the projection by its sign, producing an ``n``-bit *signature*
+(§II-A of the paper).  Two vectors that map to the same signature are
+close in the original space, so their dot products with any weight
+vector are approximately equal — the property MERCURY exploits.
+
+The module also provides :func:`signature_via_convolution`, the paper's
+§III-B1 formulation where each column of ``R`` is re-organised into a
+random *filter* and the signature bits fall out of 2D convolutions.
+The two formulations produce identical signatures, which the test suite
+verifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack rows of 0/1 bits into integer signatures.
+
+    Signatures of up to 62 bits (the common case) come back as an
+    ``int64`` array so downstream group-by operations stay vectorised;
+    longer signatures — reachable through the adaptive length growth —
+    fall back to an object array of exact Python integers.
+
+    Parameters
+    ----------
+    bits:
+        Array of shape ``(n_vectors, n_bits)`` containing 0/1 values.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n_vectors,)`` array of signatures (int64 or object).
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError("pack_bits expects a 2D (n_vectors, n_bits) array")
+    n_vectors, n_bits = bits.shape
+
+    if n_bits <= 62:
+        # Fast vectorised path for the common case.
+        weights = (1 << np.arange(n_bits - 1, -1, -1, dtype=np.int64))
+        return (bits.astype(np.int64) * weights).sum(axis=1)
+
+    packed = np.empty(n_vectors, dtype=object)
+    weights = [1 << (n_bits - 1 - i) for i in range(n_bits)]
+    for row in range(n_vectors):
+        value = 0
+        row_bits = bits[row]
+        for i in range(n_bits):
+            if row_bits[i]:
+                value |= weights[i]
+        packed[row] = value
+    return packed
+
+
+class RPQHasher:
+    """Generates RPQ signatures for batches of vectors.
+
+    One random projection matrix is lazily created per (vector length,
+    signature length) pair, seeded deterministically so forward and
+    backward passes of the same layer — and repeated runs — see the same
+    projections.
+    """
+
+    def __init__(self, seed: int = 1234):
+        self.seed = seed
+        self._matrices: dict[tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def projection_matrix(self, vector_length: int, signature_bits: int) -> np.ndarray:
+        """Return (and cache) the m x n random projection matrix."""
+        key = (vector_length, signature_bits)
+        if key not in self._matrices:
+            # Derive a per-shape seed so growing the signature keeps the
+            # first bits' filters stable: generate the widest matrix
+            # incrementally column-block by column-block.
+            rng = np.random.default_rng((self.seed, vector_length))
+            matrix = rng.normal(0.0, 1.0, size=(vector_length, signature_bits))
+            self._matrices[key] = matrix
+        return self._matrices[key]
+
+    def project(self, vectors: np.ndarray, signature_bits: int) -> np.ndarray:
+        """Random projection without quantization: ``X @ R``."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        matrix = self.projection_matrix(vectors.shape[1], signature_bits)
+        return vectors @ matrix
+
+    def signature_bits_matrix(self, vectors: np.ndarray,
+                              signature_bits: int) -> np.ndarray:
+        """Return the 0/1 bit matrix (sign quantization of the projection)."""
+        projected = self.project(vectors, signature_bits)
+        return (projected >= 0.0).astype(np.uint8)
+
+    def signatures(self, vectors: np.ndarray, signature_bits: int) -> np.ndarray:
+        """Return one packed integer signature per row of ``vectors``."""
+        return pack_bits(self.signature_bits_matrix(vectors, signature_bits))
+
+    # ------------------------------------------------------------------
+    def similarity_fraction(self, vectors: np.ndarray,
+                            signature_bits: int) -> float:
+        """Fraction of vectors whose signature repeats an earlier one.
+
+        This is the quantity plotted per layer in Figure 1 of the paper
+        ("input similarity"): a vector is *similar* if at least one
+        earlier vector produced the same signature.
+        """
+        sigs = self.signatures(vectors, signature_bits)
+        seen: set[int] = set()
+        similar = 0
+        for sig in sigs:
+            if sig in seen:
+                similar += 1
+            else:
+                seen.add(sig)
+        if len(sigs) == 0:
+            return 0.0
+        return similar / len(sigs)
+
+    def unique_vector_count(self, vectors: np.ndarray,
+                            signature_bits: int) -> int:
+        """Number of distinct signatures (Figure 3 / Figure 15c)."""
+        sigs = self.signatures(vectors, signature_bits)
+        return len(set(sigs.tolist()))
+
+
+def signature_via_convolution(image: np.ndarray, kernel_size: int,
+                              random_filters: np.ndarray,
+                              stride: int = 1) -> np.ndarray:
+    """Compute signatures using the paper's convolution formulation.
+
+    Each column of the random projection matrix is reshaped into a
+    ``kernel_size x kernel_size`` random filter; sliding each filter over
+    the image produces one bit of every input vector's signature
+    (§III-B1).  The result must equal hashing the im2col rows directly.
+
+    Parameters
+    ----------
+    image:
+        2D input matrix of shape ``(H, W)`` (single channel).
+    kernel_size:
+        Side length of the extracted input vectors.
+    random_filters:
+        Projection matrix of shape ``(kernel_size * kernel_size, n_bits)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Packed integer signature per input vector, ordered row-major
+        over the output positions.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("signature_via_convolution expects a 2D image")
+    height, width = image.shape
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+    n_bits = random_filters.shape[1]
+
+    bits = np.zeros((out_h * out_w, n_bits), dtype=np.uint8)
+    for bit in range(n_bits):
+        kernel = random_filters[:, bit].reshape(kernel_size, kernel_size)
+        index = 0
+        for i in range(0, out_h * stride, stride):
+            for j in range(0, out_w * stride, stride):
+                patch = image[i:i + kernel_size, j:j + kernel_size]
+                value = float(np.sum(patch * kernel))
+                bits[index, bit] = 1 if value >= 0.0 else 0
+                index += 1
+    return pack_bits(bits)

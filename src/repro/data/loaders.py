@@ -1,0 +1,51 @@
+"""Minibatch loading utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def train_test_split(inputs: np.ndarray, labels: np.ndarray,
+                     test_fraction: float = 0.25, seed: int = 0):
+    """Split arrays into train and test portions.
+
+    Returns ``(train_inputs, train_labels, test_inputs, test_labels)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if len(inputs) != len(labels):
+        raise ValueError("inputs and labels must have the same length")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(inputs))
+    split = int(round(len(inputs) * (1.0 - test_fraction)))
+    if split == 0 or split == len(inputs):
+        raise ValueError("split produced an empty partition")
+    train_idx, test_idx = order[:split], order[split:]
+    return inputs[train_idx], labels[train_idx], inputs[test_idx], labels[test_idx]
+
+
+class BatchLoader:
+    """Iterates minibatches, optionally reshuffling every epoch."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 8, shuffle: bool = True, seed: int = 0):
+        if len(inputs) != len(labels):
+            raise ValueError("inputs and labels must have the same length")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.inputs = inputs
+        self.labels = labels
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.inputs) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        order = np.arange(len(self.inputs))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start:start + self.batch_size]
+            yield self.inputs[batch], self.labels[batch]

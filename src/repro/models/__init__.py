@@ -1,0 +1,26 @@
+"""Model zoo: scaled versions of the twelve networks the paper evaluates.
+
+Every builder returns a ready-to-train model whose layer mix mirrors the
+original architecture (convolution stacks for the VGGs, residual blocks
+for the ResNets, inception branches for GoogLeNet/Inception-V4, fire
+modules for SqueezeNet, separable stacks for MobileNet-V2 and
+encoder blocks for the Transformer) with widths and depths scaled so the
+full sweep runs on a CPU in minutes.  ``DESIGN.md`` documents the
+scaling as an explicit substitution.
+"""
+
+from repro.models.registry import (
+    MODEL_NAMES,
+    CNN_MODEL_NAMES,
+    ModelSpec,
+    build_model,
+    get_spec,
+)
+
+__all__ = [
+    "MODEL_NAMES",
+    "CNN_MODEL_NAMES",
+    "ModelSpec",
+    "build_model",
+    "get_spec",
+]

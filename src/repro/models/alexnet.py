@@ -1,0 +1,35 @@
+"""Scaled AlexNet."""
+
+from __future__ import annotations
+
+from repro.nn import (Conv2D, Dropout, Flatten, Linear, MaxPool2D, ReLU,
+                      Sequential)
+from repro.nn.module import assign_unique_layer_names
+
+
+def build_alexnet(num_classes: int = 8, in_channels: int = 3,
+                  image_size: int = 32, seed: int = 0) -> Sequential:
+    """Five convolution layers + three FC layers, widths scaled down 8x."""
+    model = Sequential(
+        Conv2D(in_channels, 8, 5, stride=2, padding=2, seed=seed),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(8, 16, 3, padding=1, seed=seed + 1),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(16, 24, 3, padding=1, seed=seed + 2),
+        ReLU(),
+        Conv2D(24, 24, 3, padding=1, seed=seed + 3),
+        ReLU(),
+        Conv2D(24, 16, 3, padding=1, seed=seed + 4),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Linear(16 * (image_size // 16) ** 2, 64, seed=seed + 5),
+        ReLU(),
+        Dropout(0.3, seed=seed),
+        Linear(64, 32, seed=seed + 6),
+        ReLU(),
+        Linear(32, num_classes, seed=seed + 7),
+    )
+    return assign_unique_layer_names(model, prefix="alexnet")

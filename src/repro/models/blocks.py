@@ -1,0 +1,228 @@
+"""Composite building blocks shared by the model zoo.
+
+Each block is a :class:`~repro.nn.module.Module` with an explicit
+backward pass, including the branch-and-merge topologies (residual adds
+and channel concatenations) that the plain Sequential container cannot
+express.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import ReLU, GELU
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2D, LayerNorm
+from repro.nn.layers.attention import MultiHeadSelfAttention
+from repro.nn.module import Module
+
+
+class ConvBNReLU(Module):
+    """Convolution + batch norm + ReLU, the standard CNN building unit."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, padding: int = 1, seed: int = 0):
+        super().__init__()
+        self.conv = Conv2D(in_channels, out_channels, kernel_size,
+                           stride=stride, padding=padding, seed=seed)
+        self.bn = BatchNorm2D(out_channels)
+        self.relu = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.relu(self.bn(self.conv(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.conv.backward(self.bn.backward(self.relu.backward(grad_output)))
+
+
+class ResidualBlock(Module):
+    """Two-convolution residual block with an optional projection shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 seed: int = 0):
+        super().__init__()
+        self.main1 = ConvBNReLU(in_channels, out_channels, 3, stride, 1, seed=seed)
+        self.conv2 = Conv2D(out_channels, out_channels, 3, stride=1, padding=1,
+                            seed=seed + 1)
+        self.bn2 = BatchNorm2D(out_channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut_conv = Conv2D(in_channels, out_channels, 1,
+                                        stride=stride, padding=0, seed=seed + 2)
+            self.shortcut_bn = BatchNorm2D(out_channels)
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.bn2(self.conv2(self.main1(x)))
+        if self.shortcut_conv is not None:
+            skip = self.shortcut_bn(self.shortcut_conv(x))
+        else:
+            skip = x
+        return self.relu(main + skip)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu.backward(grad_output)
+        grad_main = self.main1.backward(
+            self.conv2.backward(self.bn2.backward(grad_sum)))
+        if self.shortcut_conv is not None:
+            grad_skip = self.shortcut_conv.backward(
+                self.shortcut_bn.backward(grad_sum))
+        else:
+            grad_skip = grad_sum
+        return grad_main + grad_skip
+
+
+class InceptionBlock(Module):
+    """Three parallel branches (1x1, 1x1-3x3, 1x1-3x3-3x3) concatenated."""
+
+    def __init__(self, in_channels: int, branch_channels: tuple[int, int, int],
+                 seed: int = 0):
+        super().__init__()
+        b1, b2, b3 = branch_channels
+        self.branch1 = ConvBNReLU(in_channels, b1, 1, 1, 0, seed=seed)
+        self.branch2a = ConvBNReLU(in_channels, b2, 1, 1, 0, seed=seed + 1)
+        self.branch2b = ConvBNReLU(b2, b2, 3, 1, 1, seed=seed + 2)
+        self.branch3a = ConvBNReLU(in_channels, b3, 1, 1, 0, seed=seed + 3)
+        self.branch3b = ConvBNReLU(b3, b3, 3, 1, 1, seed=seed + 4)
+        self.branch3c = ConvBNReLU(b3, b3, 3, 1, 1, seed=seed + 5)
+        self.branch_channels = (b1, b2, b3)
+
+    @property
+    def out_channels(self) -> int:
+        return sum(self.branch_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out1 = self.branch1(x)
+        out2 = self.branch2b(self.branch2a(x))
+        out3 = self.branch3c(self.branch3b(self.branch3a(x)))
+        return np.concatenate([out1, out2, out3], axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        b1, b2, b3 = self.branch_channels
+        grad1 = grad_output[:, :b1]
+        grad2 = grad_output[:, b1:b1 + b2]
+        grad3 = grad_output[:, b1 + b2:b1 + b2 + b3]
+        grad_in = self.branch1.backward(grad1)
+        grad_in = grad_in + self.branch2a.backward(self.branch2b.backward(grad2))
+        grad_in = grad_in + self.branch3a.backward(
+            self.branch3b.backward(self.branch3c.backward(grad3)))
+        return grad_in
+
+
+class FireBlock(Module):
+    """SqueezeNet fire module: squeeze 1x1 then parallel 1x1/3x3 expands."""
+
+    def __init__(self, in_channels: int, squeeze_channels: int,
+                 expand_channels: int, seed: int = 0):
+        super().__init__()
+        self.squeeze = ConvBNReLU(in_channels, squeeze_channels, 1, 1, 0, seed=seed)
+        self.expand1 = ConvBNReLU(squeeze_channels, expand_channels, 1, 1, 0,
+                                  seed=seed + 1)
+        self.expand3 = ConvBNReLU(squeeze_channels, expand_channels, 3, 1, 1,
+                                  seed=seed + 2)
+        self.expand_channels = expand_channels
+
+    @property
+    def out_channels(self) -> int:
+        return 2 * self.expand_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        squeezed = self.squeeze(x)
+        return np.concatenate([self.expand1(squeezed), self.expand3(squeezed)],
+                              axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        split = self.expand_channels
+        grad_squeezed = self.expand1.backward(grad_output[:, :split])
+        grad_squeezed = grad_squeezed + self.expand3.backward(grad_output[:, split:])
+        return self.squeeze.backward(grad_squeezed)
+
+
+class SeparableBlock(Module):
+    """MobileNet-style separable unit: 3x3 spatial conv then 1x1 pointwise.
+
+    The true depthwise (grouped) convolution is replaced by a full 3x3
+    convolution of the same width; the layer mix and tensor shapes match
+    MobileNet-V2 while keeping the convolution kernel implementation
+    single-path (documented substitution).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 seed: int = 0):
+        super().__init__()
+        self.spatial = ConvBNReLU(in_channels, in_channels, 3, stride, 1, seed=seed)
+        self.pointwise = ConvBNReLU(in_channels, out_channels, 1, 1, 0,
+                                    seed=seed + 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.pointwise(self.spatial(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.spatial.backward(self.pointwise.backward(grad_output))
+
+
+class PositionalEncoding(Module):
+    """Fixed sinusoidal positional encodings added to embeddings."""
+
+    def __init__(self, max_length: int, embed_dim: int):
+        super().__init__()
+        position = np.arange(max_length)[:, None]
+        dims = np.arange(embed_dim)[None, :]
+        angle_rates = 1.0 / np.power(10000.0, (2 * (dims // 2)) / embed_dim)
+        angles = position * angle_rates
+        encoding = np.zeros((max_length, embed_dim))
+        encoding[:, 0::2] = np.sin(angles[:, 0::2])
+        encoding[:, 1::2] = np.cos(angles[:, 1::2])
+        self.encoding = encoding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        seq_len = x.shape[1]
+        if seq_len > self.encoding.shape[0]:
+            raise ValueError("sequence longer than the positional table")
+        return x + self.encoding[:seq_len]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class FeedForward(Module):
+    """Transformer position-wise feed-forward block."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, seed: int = 0):
+        super().__init__()
+        self.linear1 = Linear(embed_dim, hidden_dim, seed=seed)
+        self.activation = GELU()
+        self.linear2 = Linear(hidden_dim, embed_dim, seed=seed + 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.linear2(self.activation(self.linear1(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.linear1.backward(
+            self.activation.backward(self.linear2.backward(grad_output)))
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-norm transformer encoder block (attention + feed-forward)."""
+
+    def __init__(self, embed_dim: int, num_heads: int, ff_dim: int, seed: int = 0):
+        super().__init__()
+        self.norm1 = LayerNorm(embed_dim)
+        self.attention = MultiHeadSelfAttention(embed_dim, num_heads, seed=seed)
+        self.norm2 = LayerNorm(embed_dim)
+        self.feed_forward = FeedForward(embed_dim, ff_dim, seed=seed + 10)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        attended = self.attention(self.norm1(x))
+        x = x + attended
+        fed = self.feed_forward(self.norm2(x))
+        return x + fed
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_ff_in = self.norm2.backward(self.feed_forward.backward(grad_output))
+        grad_mid = grad_output + grad_ff_in
+        grad_attn_in = self.norm1.backward(self.attention.backward(grad_mid))
+        return grad_mid + grad_attn_in

@@ -1,0 +1,47 @@
+"""Scaled GoogLeNet (inception-v1 style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.blocks import ConvBNReLU, InceptionBlock
+from repro.nn import GlobalAvgPool2D, Linear, MaxPool2D
+from repro.nn.module import Module, assign_unique_layer_names
+
+
+class GoogLeNet(Module):
+    """Stem + three inception blocks + classifier."""
+
+    def __init__(self, num_classes: int = 8, in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        self.stem = ConvBNReLU(in_channels, 8, 3, 1, 1, seed=seed)
+        self.pool1 = MaxPool2D(2)
+        self.inception1 = InceptionBlock(8, (4, 6, 4), seed=seed + 1)
+        self.inception2 = InceptionBlock(self.inception1.out_channels,
+                                         (6, 8, 6), seed=seed + 10)
+        self.pool2 = MaxPool2D(2)
+        self.inception3 = InceptionBlock(self.inception2.out_channels,
+                                         (8, 12, 8), seed=seed + 20)
+        self.pool = GlobalAvgPool2D()
+        self.head = Linear(self.inception3.out_channels, num_classes,
+                           seed=seed + 30)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.pool1(self.stem(x))
+        x = self.inception1(x)
+        x = self.pool2(self.inception2(x))
+        x = self.inception3(x)
+        return self.head(self.pool(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(self.head.backward(grad_output))
+        grad = self.inception3.backward(grad)
+        grad = self.inception2.backward(self.pool2.backward(grad))
+        grad = self.inception1.backward(grad)
+        return self.stem.backward(self.pool1.backward(grad))
+
+
+def build_googlenet(num_classes: int = 8, in_channels: int = 3,
+                    seed: int = 0) -> GoogLeNet:
+    model = GoogLeNet(num_classes, in_channels, seed)
+    return assign_unique_layer_names(model, prefix="googlenet")

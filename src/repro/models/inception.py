@@ -1,0 +1,54 @@
+"""Scaled Inception-V4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.blocks import ConvBNReLU, InceptionBlock
+from repro.nn import GlobalAvgPool2D, Linear, MaxPool2D
+from repro.nn.module import Module, assign_unique_layer_names
+
+
+class InceptionV4(Module):
+    """Two-convolution stem + four inception blocks + classifier.
+
+    Deeper and wider than the GoogLeNet entry so the pair keeps the
+    original ordering (Inception-V4 is the heavier network).
+    """
+
+    def __init__(self, num_classes: int = 8, in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        self.stem1 = ConvBNReLU(in_channels, 8, 3, 1, 1, seed=seed)
+        self.stem2 = ConvBNReLU(8, 12, 3, 1, 1, seed=seed + 1)
+        self.pool1 = MaxPool2D(2)
+        self.inception1 = InceptionBlock(12, (6, 8, 6), seed=seed + 2)
+        self.inception2 = InceptionBlock(self.inception1.out_channels,
+                                         (8, 10, 8), seed=seed + 12)
+        self.pool2 = MaxPool2D(2)
+        self.inception3 = InceptionBlock(self.inception2.out_channels,
+                                         (10, 12, 10), seed=seed + 22)
+        self.inception4 = InceptionBlock(self.inception3.out_channels,
+                                         (12, 12, 12), seed=seed + 32)
+        self.pool = GlobalAvgPool2D()
+        self.head = Linear(self.inception4.out_channels, num_classes,
+                           seed=seed + 42)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.pool1(self.stem2(self.stem1(x)))
+        x = self.inception2(self.inception1(x))
+        x = self.pool2(x)
+        x = self.inception4(self.inception3(x))
+        return self.head(self.pool(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(self.head.backward(grad_output))
+        grad = self.inception3.backward(self.inception4.backward(grad))
+        grad = self.pool2.backward(grad)
+        grad = self.inception1.backward(self.inception2.backward(grad))
+        return self.stem1.backward(self.stem2.backward(self.pool1.backward(grad)))
+
+
+def build_inception_v4(num_classes: int = 8, in_channels: int = 3,
+                       seed: int = 0) -> InceptionV4:
+    model = InceptionV4(num_classes, in_channels, seed)
+    return assign_unique_layer_names(model, prefix="inception_v4")

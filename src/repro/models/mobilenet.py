@@ -1,0 +1,44 @@
+"""Scaled MobileNet-V2 (separable convolution stacks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.blocks import ConvBNReLU, SeparableBlock
+from repro.nn import GlobalAvgPool2D, Linear
+from repro.nn.module import Module, assign_unique_layer_names
+
+
+class MobileNetV2(Module):
+    """Stem + five separable blocks + classifier."""
+
+    def __init__(self, num_classes: int = 8, in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        self.stem = ConvBNReLU(in_channels, 8, 3, 2, 1, seed=seed)
+        self.blocks = [
+            SeparableBlock(8, 12, stride=1, seed=seed + 1),
+            SeparableBlock(12, 16, stride=2, seed=seed + 3),
+            SeparableBlock(16, 16, stride=1, seed=seed + 5),
+            SeparableBlock(16, 24, stride=2, seed=seed + 7),
+            SeparableBlock(24, 32, stride=1, seed=seed + 9),
+        ]
+        self.pool = GlobalAvgPool2D()
+        self.head = Linear(32, num_classes, seed=seed + 11)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem(x)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.pool(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(self.head.backward(grad_output))
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.stem.backward(grad)
+
+
+def build_mobilenet_v2(num_classes: int = 8, in_channels: int = 3,
+                       seed: int = 0) -> MobileNetV2:
+    model = MobileNetV2(num_classes, in_channels, seed)
+    return assign_unique_layer_names(model, prefix="mobilenet_v2")

@@ -1,0 +1,96 @@
+"""Registry mapping the paper's twelve model names to builders."""
+
+from __future__ import annotations
+
+from repro.models.alexnet import build_alexnet
+from repro.models.googlenet import build_googlenet
+from repro.models.inception import build_inception_v4
+from repro.models.mobilenet import build_mobilenet_v2
+from repro.models.resnet import build_resnet50, build_resnet101, build_resnet152
+from repro.models.spec import ModelSpec
+from repro.models.squeezenet import build_squeezenet
+from repro.models.transformer import build_transformer
+from repro.models.vgg import build_vgg13, build_vgg16, build_vgg19
+
+_DEFAULT_IMAGE_SHAPE = (3, 32, 32)
+_DEFAULT_NUM_CLASSES = 8
+_DEFAULT_SEQ_LEN = 12
+_DEFAULT_VOCAB = 64
+
+_SPECS = {
+    "alexnet": ModelSpec("alexnet", "cnn", _DEFAULT_IMAGE_SHAPE,
+                         _DEFAULT_NUM_CLASSES, 1.0,
+                         "5 conv + 3 FC layers"),
+    "googlenet": ModelSpec("googlenet", "cnn", _DEFAULT_IMAGE_SHAPE,
+                           _DEFAULT_NUM_CLASSES, 1.5,
+                           "stem + 3 inception blocks"),
+    "resnet50": ModelSpec("resnet50", "cnn", _DEFAULT_IMAGE_SHAPE,
+                          _DEFAULT_NUM_CLASSES, 2.0,
+                          "8 residual blocks in 4 stages"),
+    "resnet101": ModelSpec("resnet101", "cnn", _DEFAULT_IMAGE_SHAPE,
+                           _DEFAULT_NUM_CLASSES, 3.0,
+                           "12 residual blocks in 4 stages"),
+    "resnet152": ModelSpec("resnet152", "cnn", _DEFAULT_IMAGE_SHAPE,
+                           _DEFAULT_NUM_CLASSES, 4.0,
+                           "16 residual blocks in 4 stages"),
+    "vgg13": ModelSpec("vgg13", "cnn", _DEFAULT_IMAGE_SHAPE,
+                       _DEFAULT_NUM_CLASSES, 2.2, "10 convolution layers"),
+    "vgg16": ModelSpec("vgg16", "cnn", _DEFAULT_IMAGE_SHAPE,
+                       _DEFAULT_NUM_CLASSES, 2.8, "13 convolution layers"),
+    "vgg19": ModelSpec("vgg19", "cnn", _DEFAULT_IMAGE_SHAPE,
+                       _DEFAULT_NUM_CLASSES, 3.4, "16 convolution layers"),
+    "inception_v4": ModelSpec("inception_v4", "cnn", _DEFAULT_IMAGE_SHAPE,
+                              _DEFAULT_NUM_CLASSES, 3.2,
+                              "stem + 4 inception blocks"),
+    "mobilenet_v2": ModelSpec("mobilenet_v2", "cnn", _DEFAULT_IMAGE_SHAPE,
+                              _DEFAULT_NUM_CLASSES, 1.2,
+                              "separable convolution stacks"),
+    "squeezenet": ModelSpec("squeezenet", "cnn", _DEFAULT_IMAGE_SHAPE,
+                            _DEFAULT_NUM_CLASSES, 0.8, "3 fire modules"),
+    "transformer": ModelSpec("transformer", "transformer",
+                             (_DEFAULT_SEQ_LEN,), _DEFAULT_VOCAB, 1.4,
+                             "2 encoder blocks, 4 heads"),
+}
+
+_BUILDERS = {
+    "alexnet": build_alexnet,
+    "googlenet": build_googlenet,
+    "resnet50": build_resnet50,
+    "resnet101": build_resnet101,
+    "resnet152": build_resnet152,
+    "vgg13": build_vgg13,
+    "vgg16": build_vgg16,
+    "vgg19": build_vgg19,
+    "inception_v4": build_inception_v4,
+    "mobilenet_v2": build_mobilenet_v2,
+    "squeezenet": build_squeezenet,
+    "transformer": build_transformer,
+}
+
+MODEL_NAMES = list(_SPECS)
+CNN_MODEL_NAMES = [name for name, spec in _SPECS.items() if spec.kind == "cnn"]
+
+
+def get_spec(name: str) -> ModelSpec:
+    """Metadata for one model zoo entry."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {MODEL_NAMES}") from None
+
+
+def build_model(name: str, num_classes: int | None = None, seed: int = 0):
+    """Instantiate a model zoo entry.
+
+    For CNNs ``num_classes`` overrides the default class count; the
+    transformer's output size is its vocabulary and is configured
+    through :func:`repro.models.transformer.build_transformer` directly.
+    """
+    spec = get_spec(name)
+    builder = _BUILDERS[name]
+    if spec.kind == "transformer":
+        vocab = num_classes or spec.num_classes
+        return builder(vocab_size=vocab, seed=seed)
+    classes = num_classes or spec.num_classes
+    return builder(num_classes=classes, seed=seed)

@@ -1,0 +1,75 @@
+"""Scaled ResNet-50 / ResNet-101 / ResNet-152.
+
+The three variants keep their relative depth ordering (152 > 101 > 50)
+through the number of residual blocks per stage, with widths scaled so
+the whole family trains on CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.blocks import ConvBNReLU, ResidualBlock
+from repro.nn import GlobalAvgPool2D, Linear
+from repro.nn.module import Module, assign_unique_layer_names
+
+_STAGE_BLOCKS = {
+    "resnet50": (2, 2, 2, 2),
+    "resnet101": (2, 3, 4, 3),
+    "resnet152": (3, 4, 5, 4),
+}
+_STAGE_CHANNELS = (8, 16, 24, 32)
+
+
+class ResNet(Module):
+    """A small residual network with four stages."""
+
+    def __init__(self, blocks_per_stage: tuple, num_classes: int = 8,
+                 in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        self.stem = ConvBNReLU(in_channels, _STAGE_CHANNELS[0], 3, 1, 1, seed=seed)
+        self.blocks = []
+        channels = _STAGE_CHANNELS[0]
+        block_seed = seed + 1
+        for stage, (count, width) in enumerate(zip(blocks_per_stage,
+                                                   _STAGE_CHANNELS)):
+            for block_index in range(count):
+                stride = 2 if (stage > 0 and block_index == 0) else 1
+                self.blocks.append(ResidualBlock(channels, width, stride,
+                                                 seed=block_seed))
+                channels = width
+                block_seed += 3
+        self.pool = GlobalAvgPool2D()
+        self.head = Linear(channels, num_classes, seed=block_seed)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem(x)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.pool(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(self.head.backward(grad_output))
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.stem.backward(grad)
+
+
+def build_resnet(variant: str, num_classes: int = 8, in_channels: int = 3,
+                 seed: int = 0) -> ResNet:
+    if variant not in _STAGE_BLOCKS:
+        raise ValueError(f"unknown ResNet variant {variant!r}")
+    model = ResNet(_STAGE_BLOCKS[variant], num_classes, in_channels, seed)
+    return assign_unique_layer_names(model, prefix=variant)
+
+
+def build_resnet50(num_classes: int = 8, in_channels: int = 3, seed: int = 0) -> ResNet:
+    return build_resnet("resnet50", num_classes, in_channels, seed)
+
+
+def build_resnet101(num_classes: int = 8, in_channels: int = 3, seed: int = 0) -> ResNet:
+    return build_resnet("resnet101", num_classes, in_channels, seed)
+
+
+def build_resnet152(num_classes: int = 8, in_channels: int = 3, seed: int = 0) -> ResNet:
+    return build_resnet("resnet152", num_classes, in_channels, seed)

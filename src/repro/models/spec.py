@@ -1,0 +1,29 @@
+"""Model metadata shared by the registry and the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Describes one model zoo entry.
+
+    ``relative_size`` orders the models roughly as the originals are
+    ordered by compute (bigger networks expose more reuse opportunity in
+    the paper's evaluation), and is used by workload-level benches that
+    do not need to instantiate the network.
+    """
+
+    name: str
+    kind: str                      # "cnn" or "transformer"
+    input_shape: tuple             # (C, H, W) for CNNs, (seq_len,) for text
+    num_classes: int
+    relative_size: float
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("cnn", "transformer"):
+            raise ValueError(f"unknown model kind {self.kind!r}")
+        if self.relative_size <= 0:
+            raise ValueError("relative_size must be positive")

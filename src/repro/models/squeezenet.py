@@ -1,0 +1,43 @@
+"""Scaled SqueezeNet-1.0 (fire modules)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.blocks import ConvBNReLU, FireBlock
+from repro.nn import GlobalAvgPool2D, Linear, MaxPool2D
+from repro.nn.module import Module, assign_unique_layer_names
+
+
+class SqueezeNet(Module):
+    """Stem + three fire modules + classifier."""
+
+    def __init__(self, num_classes: int = 8, in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        self.stem = ConvBNReLU(in_channels, 12, 3, 2, 1, seed=seed)
+        self.fire1 = FireBlock(12, 4, 8, seed=seed + 1)
+        self.fire2 = FireBlock(self.fire1.out_channels, 4, 8, seed=seed + 4)
+        self.pool1 = MaxPool2D(2)
+        self.fire3 = FireBlock(self.fire2.out_channels, 6, 12, seed=seed + 7)
+        self.pool = GlobalAvgPool2D()
+        self.head = Linear(self.fire3.out_channels, num_classes, seed=seed + 10)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem(x)
+        x = self.fire2(self.fire1(x))
+        x = self.pool1(x)
+        x = self.fire3(x)
+        return self.head(self.pool(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(self.head.backward(grad_output))
+        grad = self.fire3.backward(grad)
+        grad = self.pool1.backward(grad)
+        grad = self.fire1.backward(self.fire2.backward(grad))
+        return self.stem.backward(grad)
+
+
+def build_squeezenet(num_classes: int = 8, in_channels: int = 3,
+                     seed: int = 0) -> SqueezeNet:
+    model = SqueezeNet(num_classes, in_channels, seed)
+    return assign_unique_layer_names(model, prefix="squeezenet")

@@ -1,0 +1,60 @@
+"""Scaled Transformer for the synthetic translation task.
+
+The paper's transformer is trained on Multi30k translation; here an
+encoder-only model predicts the target token at every source position
+(the synthetic task is token-wise, see
+:mod:`repro.data.synthetic_text`), which exercises the same layer types
+— embeddings, multi-head attention and position-wise feed-forward — that
+MERCURY accelerates in §III-C3/C4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.blocks import PositionalEncoding, TransformerEncoderBlock
+from repro.nn import Embedding, Linear
+from repro.nn.module import Module, assign_unique_layer_names
+
+
+class TransformerModel(Module):
+    """Embedding + positional encoding + encoder blocks + vocab head."""
+
+    def __init__(self, vocab_size: int = 64, max_length: int = 16,
+                 embed_dim: int = 32, num_heads: int = 4, ff_dim: int = 64,
+                 num_blocks: int = 2, seed: int = 0):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.embedding = Embedding(vocab_size, embed_dim, seed=seed)
+        self.positional = PositionalEncoding(max_length, embed_dim)
+        self.encoder_blocks = [
+            TransformerEncoderBlock(embed_dim, num_heads, ff_dim,
+                                    seed=seed + 100 * (index + 1))
+            for index in range(num_blocks)
+        ]
+        self.head = Linear(embed_dim, vocab_size, seed=seed + 999)
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        x = self.positional(self.embedding(token_ids))
+        for block in self.encoder_blocks:
+            x = block(x)
+        return self.head(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad_output)
+        for block in reversed(self.encoder_blocks):
+            grad = block.backward(grad)
+        grad = self.positional.backward(grad)
+        return self.embedding.backward(grad)
+
+    def predict(self, token_ids: np.ndarray) -> np.ndarray:
+        """Greedy per-position prediction (used for BLEU evaluation)."""
+        logits = self.forward(token_ids)
+        return np.argmax(logits, axis=-1)
+
+
+def build_transformer(vocab_size: int = 64, max_length: int = 16,
+                      seed: int = 0) -> TransformerModel:
+    model = TransformerModel(vocab_size=vocab_size, max_length=max_length,
+                             seed=seed)
+    return assign_unique_layer_names(model, prefix="transformer")

@@ -1,0 +1,93 @@
+"""im2col / col2im utilities.
+
+The paper's accelerator operates on *input vectors* extracted from the
+input matrix — exactly the columns that im2col produces.  MERCURY's
+signatures are computed per extracted vector, so these helpers are the
+bridge between the functional convolution and the reuse engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel_h: int, kernel_w: int,
+           stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Convert a batch of images into a matrix of extracted input vectors.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, channels, height, width)``.
+    kernel_h, kernel_w:
+        Filter dimensions.
+    stride, pad:
+        Convolution stride and zero padding.
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(batch * out_h * out_w, channels * kernel_h *
+        kernel_w)``; each row is one input vector in the paper's sense.
+    """
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+
+    if pad > 0:
+        x = np.pad(x, [(0, 0), (0, 0), (pad, pad), (pad, pad)],
+                   mode="constant")
+
+    cols = np.empty((batch, channels, kernel_h, kernel_w, out_h, out_w),
+                    dtype=x.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kernel_h * kernel_w)
+    return cols
+
+
+def col2im(cols: np.ndarray, input_shape: tuple, kernel_h: int, kernel_w: int,
+           stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Inverse of :func:`im2col` accumulating overlapping contributions.
+
+    Parameters
+    ----------
+    cols:
+        Matrix of shape ``(batch * out_h * out_w, channels * kernel_h *
+        kernel_w)``.
+    input_shape:
+        The original ``(batch, channels, height, width)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array with the original input shape where overlapping patch
+        positions have been summed (as required by convolution
+        backward).
+    """
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel_h, kernel_w)
+    cols = cols.transpose(0, 3, 4, 5, 1, 2)
+
+    padded = np.zeros((batch, channels, height + 2 * pad + stride - 1,
+                       width + 2 * pad + stride - 1), dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+
+    return padded[:, :, pad:pad + height, pad:pad + width]

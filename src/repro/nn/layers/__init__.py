@@ -1,0 +1,31 @@
+"""Layer implementations for the numpy DNN framework."""
+
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.activations import ReLU, Sigmoid, Tanh, GELU, Softmax
+from repro.nn.layers.pooling import MaxPool2D, AvgPool2D, GlobalAvgPool2D
+from repro.nn.layers.norm import BatchNorm2D, LayerNorm
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.reshape import Flatten
+from repro.nn.layers.embedding import Embedding
+from repro.nn.layers.attention import SelfAttention, MultiHeadSelfAttention
+
+__all__ = [
+    "Conv2D",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "GELU",
+    "Softmax",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "BatchNorm2D",
+    "LayerNorm",
+    "Dropout",
+    "Flatten",
+    "Embedding",
+    "SelfAttention",
+    "MultiHeadSelfAttention",
+]

@@ -1,0 +1,140 @@
+"""Attention layers.
+
+The paper (§III-C4) describes the attention computation it accelerates
+as ``W = X X^T`` followed by ``Y = W X`` — a non-parametric weighted
+average over the sequence.  :class:`SelfAttention` implements exactly
+that formulation and routes both matrix products through the compute
+engine (the rows of ``X`` are the input vectors whose similarity is
+exploited, just like a fully-connected layer).
+
+:class:`MultiHeadSelfAttention` is the standard parametric variant used
+inside the transformer model of the model zoo; its Q/K/V projections are
+Linear layers, so they already benefit from reuse, and its score and
+context products are routed through the engine as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import softmax
+from repro.nn.layers.linear import Linear
+from repro.nn.module import Module
+
+
+class SelfAttention(Module):
+    """The paper's simplified attention: ``Y = (X X^T) X`` per sequence."""
+
+    def __init__(self, scale: bool = True):
+        super().__init__()
+        self.scale = scale
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError("SelfAttention expects (batch, seq, features)")
+        batch, seq, features = x.shape
+        scale = 1.0 / np.sqrt(features) if self.scale else 1.0
+
+        outputs = np.empty_like(x)
+        weights = np.empty((batch, seq, seq), dtype=x.dtype)
+        for b in range(batch):
+            xb = x[b]
+            if self.engine is not None:
+                scores = self.engine.matmul(xb, xb.T, layer=self.layer_name,
+                                            phase="forward")
+            else:
+                scores = xb @ xb.T
+            scores = scores * scale
+            if self.engine is not None:
+                yb = self.engine.matmul(scores, xb, layer=self.layer_name,
+                                        phase="forward")
+            else:
+                yb = scores @ xb
+            weights[b] = scores
+            outputs[b] = yb
+
+        self._cache = (x, weights, scale)
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x, weights, scale = self._cache
+        batch, seq, features = x.shape
+        grad_input = np.zeros_like(x)
+        for b in range(batch):
+            xb, wb, gb = x[b], weights[b], grad_output[b]
+            # Y = W X with W = scale * X X^T
+            grad_w = gb @ xb.T
+            grad_x_from_y = wb.T @ gb
+            # dW/dX contribution: W = scale * X X^T
+            grad_x_from_w = scale * (grad_w + grad_w.T) @ xb
+            grad_input[b] = grad_x_from_y + grad_x_from_w
+        return grad_input
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self attention with learned projections."""
+
+    def __init__(self, embed_dim: int, num_heads: int, seed: int | None = None):
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+
+        base = 0 if seed is None else seed
+        self.q_proj = Linear(embed_dim, embed_dim, seed=base + 1)
+        self.k_proj = Linear(embed_dim, embed_dim, seed=base + 2)
+        self.v_proj = Linear(embed_dim, embed_dim, seed=base + 3)
+        self.out_proj = Linear(embed_dim, embed_dim, seed=base + 4)
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, _ = x.shape
+        x = x.reshape(batch, seq, self.num_heads, self.head_dim)
+        return x.transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, heads, seq, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.einsum("bhqd,bhkd->bhqk", q, k) * scale
+        attn = softmax(scores, axis=-1)
+        context = np.einsum("bhqk,bhkd->bhqd", attn, v)
+
+        merged = self._merge_heads(context)
+        out = self.out_proj(merged)
+        self._cache = (q, k, v, attn, scale)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        q, k, v, attn, scale = self._cache
+
+        grad_merged = self.out_proj.backward(grad_output)
+        batch, seq, _ = grad_merged.shape
+        grad_context = grad_merged.reshape(
+            batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        grad_attn = np.einsum("bhqd,bhkd->bhqk", grad_context, v)
+        grad_v = np.einsum("bhqk,bhqd->bhkd", attn, grad_context)
+
+        # Softmax backward
+        dot = np.sum(grad_attn * attn, axis=-1, keepdims=True)
+        grad_scores = attn * (grad_attn - dot)
+        grad_scores = grad_scores * scale
+
+        grad_q = np.einsum("bhqk,bhkd->bhqd", grad_scores, k)
+        grad_k = np.einsum("bhqk,bhqd->bhkd", grad_scores, q)
+
+        grad_x = self.q_proj.backward(self._merge_heads(grad_q))
+        grad_x = grad_x + self.k_proj.backward(self._merge_heads(grad_k))
+        grad_x = grad_x + self.v_proj.backward(self._merge_heads(grad_v))
+        return grad_x

@@ -1,0 +1,147 @@
+"""2D convolution implemented via im2col.
+
+The forward pass extracts *input vectors* (im2col rows) and multiplies
+them with the filter matrix — exactly the dot products MERCURY reuses.
+When a compute engine is attached (``self.engine``), both the forward
+product and the input-gradient product of the backward pass are routed
+through it so the reuse engine can group similar vectors by signature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.init import default_rng, he_normal
+from repro.nn.module import Module, Parameter
+
+
+class Conv2D(Module):
+    """A standard 2D convolution layer.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts of input and output feature maps.
+    kernel_size:
+        Square filter size ``k`` (the paper's examples use 3x3).
+    stride, padding:
+        Convolution stride and zero padding.
+    bias:
+        Whether to add a per-output-channel bias.
+    seed:
+        Seed for weight initialisation.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 seed: int | None = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+        rng = default_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        weight = he_normal((out_channels, in_channels, kernel_size, kernel_size),
+                           fan_in, rng)
+        self.weight = Parameter(weight, name="conv_weight")
+        self.bias = Parameter(np.zeros(out_channels), name="conv_bias") if bias else None
+
+        self._cache = None
+
+    # ------------------------------------------------------------------
+    def output_shape(self, height: int, width: int) -> tuple:
+        """Spatial output shape for a given input height/width."""
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return out_h, out_w
+
+    def _channel_group_size(self) -> int | None:
+        """Input-channel granularity of signature computation.
+
+        The paper recomputes signatures whenever a new channel is
+        processed (§III-B); the reuse engine's configuration controls how
+        many channels are hashed together.  Engines without that setting
+        (exact/capture engines) see the whole cross-channel patch.
+        """
+        config = getattr(self.engine, "config", None)
+        group = getattr(config, "conv_channel_group", None)
+        if group is None:
+            return None
+        return max(min(int(group), self.in_channels), 1)
+
+    def _engine_forward(self, cols: np.ndarray, weight_matrix: np.ndarray) -> np.ndarray:
+        """Route the forward dot products through the engine, per channel group."""
+        group = self._channel_group_size()
+        if group is None or group >= self.in_channels:
+            return self.engine.matmul(cols, weight_matrix,
+                                      layer=self.layer_name, phase="forward")
+
+        patch = self.kernel_size * self.kernel_size
+        num_vectors = cols.shape[0]
+        cols3d = cols.reshape(num_vectors, self.in_channels, patch)
+        weights3d = weight_matrix.reshape(self.in_channels, patch,
+                                          self.out_channels)
+        out = np.zeros((num_vectors, self.out_channels), dtype=np.float64)
+        for start in range(0, self.in_channels, group):
+            stop = min(start + group, self.in_channels)
+            group_cols = cols3d[:, start:stop].reshape(num_vectors, -1)
+            group_weights = weights3d[start:stop].reshape(-1, self.out_channels)
+            out += self.engine.matmul(group_cols, group_weights,
+                                      layer=self.layer_name, phase="forward")
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, _, height, width = x.shape
+        out_h, out_w = self.output_shape(height, width)
+
+        cols = im2col(x, self.kernel_size, self.kernel_size,
+                      self.stride, self.padding)
+        weight_matrix = self.weight.value.reshape(self.out_channels, -1).T
+
+        if self.engine is not None:
+            out = self._engine_forward(cols, weight_matrix)
+        else:
+            out = cols @ weight_matrix
+
+        if self.bias is not None:
+            out = out + self.bias.value
+
+        self._cache = (x.shape, cols)
+        out = out.reshape(batch, out_h, out_w, self.out_channels)
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape, cols = self._cache
+        batch = grad_output.shape[0]
+
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+
+        if self.bias is not None:
+            self.bias.grad += grad_matrix.sum(axis=0)
+
+        # Weight gradient: convolution of output gradients with saved inputs
+        # (equation (1) in the paper).
+        weight_grad = cols.T @ grad_matrix
+        self.weight.grad += weight_grad.T.reshape(self.weight.value.shape)
+
+        # Input gradient: each row of grad_matrix is a *gradient vector*;
+        # MERCURY reuses results among similar gradient vectors during
+        # backward propagation (equation (2) / §III-C2).
+        weight_matrix = self.weight.value.reshape(self.out_channels, -1)
+        if self.engine is not None:
+            grad_cols = self.engine.matmul(grad_matrix, weight_matrix,
+                                           layer=self.layer_name, phase="backward")
+        else:
+            grad_cols = grad_matrix @ weight_matrix
+
+        grad_input = col2im(grad_cols, input_shape, self.kernel_size,
+                            self.kernel_size, self.stride, self.padding)
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Conv2D({self.in_channels}, {self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding})")

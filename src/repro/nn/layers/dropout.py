@@ -1,0 +1,32 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Dropout(Module):
+    """Randomly zeroes activations with probability ``p`` during training."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

@@ -1,0 +1,37 @@
+"""Token embedding layer used by the transformer model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import default_rng
+from repro.nn.module import Module, Parameter
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 seed: int | None = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = default_rng(seed)
+        table = rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim))
+        self.weight = Parameter(table, name="embedding")
+        self._cache = None
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if np.any(token_ids < 0) or np.any(token_ids >= self.num_embeddings):
+            raise ValueError("token id out of range for embedding table")
+        self._cache = token_ids
+        return self.weight.value[token_ids]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        token_ids = self._cache
+        flat_ids = token_ids.reshape(-1)
+        flat_grad = grad_output.reshape(-1, self.embedding_dim)
+        np.add.at(self.weight.grad, flat_ids, flat_grad)
+        # Token ids carry no gradient.
+        return np.zeros_like(token_ids, dtype=np.float64)

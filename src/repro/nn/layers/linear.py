@@ -1,0 +1,66 @@
+"""Fully-connected (dense) layer.
+
+The paper exploits similarity among the *inputs of a minibatch* in a
+fully-connected layer (§III-C3): if input ``i`` is similar to input
+``j``, the products of input ``i`` with every weight column can be
+reused for input ``j``.  Routing the forward matmul through the engine
+implements exactly that grouping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import default_rng, he_normal
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` with rows of ``x`` as input vectors."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed: int | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+
+        rng = default_rng(seed)
+        weight = he_normal((in_features, out_features), in_features, rng)
+        self.weight = Parameter(weight, name="linear_weight")
+        self.bias = Parameter(np.zeros(out_features), name="linear_bias") if bias else None
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        original_shape = x.shape
+        x2d = x.reshape(-1, self.in_features)
+
+        if self.engine is not None:
+            out = self.engine.matmul(x2d, self.weight.value,
+                                     layer=self.layer_name, phase="forward")
+        else:
+            out = x2d @ self.weight.value
+
+        if self.bias is not None:
+            out = out + self.bias.value
+
+        self._cache = (original_shape, x2d)
+        return out.reshape(*original_shape[:-1], self.out_features)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        original_shape, x2d = self._cache
+        grad2d = grad_output.reshape(-1, self.out_features)
+
+        self.weight.grad += x2d.T @ grad2d
+        if self.bias is not None:
+            self.bias.grad += grad2d.sum(axis=0)
+
+        if self.engine is not None:
+            grad_input = self.engine.matmul(grad2d, self.weight.value.T,
+                                            layer=self.layer_name, phase="backward")
+        else:
+            grad_input = grad2d @ self.weight.value.T
+
+        return grad_input.reshape(original_shape)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear({self.in_features}, {self.out_features})"

@@ -1,0 +1,113 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.im2col import conv_output_size
+from repro.nn.module import Module
+
+
+class MaxPool2D(Module):
+    """Max pooling over non-overlapping or strided square windows."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = conv_output_size(height, k, s, 0)
+        out_w = conv_output_size(width, k, s, 0)
+
+        out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
+        argmax = np.empty((batch, channels, out_h, out_w), dtype=np.int64)
+        for i in range(out_h):
+            for j in range(out_w):
+                window = x[:, :, i * s:i * s + k, j * s:j * s + k]
+                flat = window.reshape(batch, channels, -1)
+                idx = flat.argmax(axis=2)
+                argmax[:, :, i, j] = idx
+                out[:, :, i, j] = np.take_along_axis(
+                    flat, idx[:, :, None], axis=2)[:, :, 0]
+
+        self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape, argmax = self._cache
+        batch, channels, height, width = input_shape
+        k, s = self.kernel_size, self.stride
+        _, _, out_h, out_w = grad_output.shape
+
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
+        for i in range(out_h):
+            for j in range(out_w):
+                idx = argmax[:, :, i, j]
+                di, dj = np.divmod(idx, k)
+                rows = i * s + di
+                cols = j * s + dj
+                b_idx, c_idx = np.meshgrid(np.arange(batch), np.arange(channels),
+                                           indexing="ij")
+                np.add.at(grad_input, (b_idx, c_idx, rows, cols),
+                          grad_output[:, :, i, j])
+        return grad_input
+
+
+class AvgPool2D(Module):
+    """Average pooling over square windows."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = conv_output_size(height, k, s, 0)
+        out_w = conv_output_size(width, k, s, 0)
+
+        out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
+        for i in range(out_h):
+            for j in range(out_w):
+                window = x[:, :, i * s:i * s + k, j * s:j * s + k]
+                out[:, :, i, j] = window.mean(axis=(2, 3))
+
+        self._cache = x.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape = self._cache
+        k, s = self.kernel_size, self.stride
+        _, _, out_h, out_w = grad_output.shape
+
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
+        scale = 1.0 / (k * k)
+        for i in range(out_h):
+            for j in range(out_w):
+                grad_input[:, :, i * s:i * s + k, j * s:j * s + k] += (
+                    grad_output[:, :, i, j][:, :, None, None] * scale)
+        return grad_input
+
+
+class GlobalAvgPool2D(Module):
+    """Average over the full spatial extent, producing ``(batch, channels)``."""
+
+    def __init__(self):
+        super().__init__()
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._cache
+        scale = 1.0 / (height * width)
+        grad = grad_output[:, :, None, None] * scale
+        return np.broadcast_to(grad, self._cache).copy()

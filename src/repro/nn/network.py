@@ -1,0 +1,50 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Run child modules in order; backward runs them in reverse.
+
+    Each child is given a stable ``layer_name`` (``"<index>:<class>"``)
+    so the MERCURY reuse engine can key per-layer signature tables and
+    per-layer statistics.
+    """
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        self._rename_layers()
+
+    def _rename_layers(self) -> None:
+        for index, layer in enumerate(self.layers):
+            layer.layer_name = f"{index}:{layer.__class__.__name__}"
+
+    def add(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        self._rename_layers()
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({inner})"

@@ -1,0 +1,12 @@
+"""Training harnesses and evaluation metrics."""
+
+from repro.training.metrics import top1_accuracy, bleu_score
+from repro.training.trainer import Trainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "top1_accuracy",
+    "bleu_score",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+]

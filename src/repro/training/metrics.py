@@ -1,0 +1,80 @@
+"""Evaluation metrics: top-1 accuracy and BLEU."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose arg-max prediction matches the label.
+
+    Works for both classification (``logits`` of shape (batch, classes))
+    and per-position prediction (``(batch, seq, classes)``).
+    """
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    predictions = np.argmax(logits, axis=-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("logits and labels shapes are incompatible")
+    return float(np.mean(predictions == labels))
+
+
+def _ngram_counts(tokens, order: int) -> Counter:
+    return Counter(tuple(tokens[i:i + order])
+                   for i in range(len(tokens) - order + 1))
+
+
+def bleu_score(references, hypotheses, max_order: int = 4) -> float:
+    """Corpus BLEU with uniform n-gram weights and brevity penalty.
+
+    ``references`` and ``hypotheses`` are sequences of token sequences
+    (one reference per hypothesis, as in the paper's Multi30k setup).
+    Returns the score on the conventional 0-100 scale.
+    """
+    references = [list(map(int, ref)) for ref in references]
+    hypotheses = [list(map(int, hyp)) for hyp in hypotheses]
+    if len(references) != len(hypotheses):
+        raise ValueError("references and hypotheses must align one-to-one")
+    if not references:
+        raise ValueError("bleu_score needs at least one sentence pair")
+
+    matches = [0] * max_order
+    possible = [0] * max_order
+    reference_length = 0
+    hypothesis_length = 0
+
+    for reference, hypothesis in zip(references, hypotheses):
+        reference_length += len(reference)
+        hypothesis_length += len(hypothesis)
+        for order in range(1, max_order + 1):
+            ref_counts = _ngram_counts(reference, order)
+            hyp_counts = _ngram_counts(hypothesis, order)
+            overlap = sum(min(count, ref_counts[gram])
+                          for gram, count in hyp_counts.items())
+            matches[order - 1] += overlap
+            possible[order - 1] += max(len(hypothesis) - order + 1, 0)
+
+    precisions = []
+    for order in range(max_order):
+        if possible[order] == 0:
+            precisions.append(0.0)
+        elif matches[order] == 0:
+            # Standard smoothing: tiny non-zero precision.
+            precisions.append(1.0 / (2.0 * possible[order]))
+        else:
+            precisions.append(matches[order] / possible[order])
+
+    if min(precisions) <= 0:
+        return 0.0
+    log_precision = sum(math.log(p) for p in precisions) / max_order
+
+    if hypothesis_length == 0:
+        return 0.0
+    if hypothesis_length > reference_length:
+        brevity_penalty = 1.0
+    else:
+        brevity_penalty = math.exp(1.0 - reference_length / hypothesis_length)
+    return 100.0 * brevity_penalty * math.exp(log_precision)

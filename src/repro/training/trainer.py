@@ -1,0 +1,130 @@
+"""Training loops for the baseline and MERCURY configurations.
+
+The trainer works for both the CNN classification task (integer labels)
+and the transformer translation task (per-position integer targets); the
+loss is softmax cross entropy in both cases, so the only difference is
+the label shape.
+
+When an engine is attached (``ReuseEngine`` for MERCURY or
+``ExactCountingEngine``/``CaptureEngine`` for baselines and analysis),
+the trainer calls ``engine.end_iteration(loss)`` after every optimizer
+step so the adaptation policies see the loss trajectory exactly as the
+paper describes (§III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.loaders import BatchLoader
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim import SGD, Adam
+from repro.training.metrics import top1_accuracy
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 3
+    batch_size: int = 8
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    optimizer: str = "sgd"
+    shuffle: bool = True
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError("optimizer must be 'sgd' or 'adam'")
+
+
+@dataclass
+class TrainingResult:
+    """Loss/accuracy history of one training run."""
+
+    epoch_losses: list = field(default_factory=list)
+    epoch_train_accuracy: list = field(default_factory=list)
+    iterations: int = 0
+    final_validation_accuracy: float | None = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class Trainer:
+    """Runs epochs of minibatch SGD with an optional compute engine."""
+
+    def __init__(self, model, config: TrainingConfig | None = None,
+                 engine=None):
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.engine = engine
+        if engine is not None:
+            model.set_engine(engine)
+        self.loss_fn = CrossEntropyLoss()
+        if self.config.optimizer == "adam":
+            self.optimizer = Adam(model.parameters(),
+                                  lr=self.config.learning_rate,
+                                  weight_decay=self.config.weight_decay)
+        else:
+            self.optimizer = SGD(model.parameters(),
+                                 lr=self.config.learning_rate,
+                                 momentum=self.config.momentum,
+                                 weight_decay=self.config.weight_decay)
+
+    # ------------------------------------------------------------------
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        logits = self.model(inputs)
+        loss = self.loss_fn(logits, targets)
+        self.model.zero_grad()
+        self.model.backward(self.loss_fn.backward())
+        self.optimizer.step()
+        if self.engine is not None:
+            self.engine.end_iteration(loss)
+        return loss
+
+    def fit(self, inputs: np.ndarray, targets: np.ndarray,
+            validation: tuple | None = None) -> TrainingResult:
+        """Train for the configured number of epochs."""
+        self.model.train()
+        loader = BatchLoader(inputs, targets, batch_size=self.config.batch_size,
+                             shuffle=self.config.shuffle, seed=self.config.seed)
+        result = TrainingResult()
+        for _ in range(self.config.epochs):
+            losses = []
+            for batch_inputs, batch_targets in loader:
+                losses.append(self.train_step(batch_inputs, batch_targets))
+                result.iterations += 1
+            result.epoch_losses.append(float(np.mean(losses)))
+            result.epoch_train_accuracy.append(
+                self.evaluate(inputs, targets))
+        if validation is not None:
+            result.final_validation_accuracy = self.evaluate(*validation)
+        return result
+
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: np.ndarray, targets: np.ndarray,
+                 batch_size: int | None = None) -> float:
+        """Top-1 accuracy of the current model on a labelled set."""
+        self.model.eval()
+        batch = batch_size or self.config.batch_size
+        correct_weighted = 0.0
+        count = 0
+        for start in range(0, len(inputs), batch):
+            chunk_inputs = inputs[start:start + batch]
+            chunk_targets = targets[start:start + batch]
+            logits = self.model(chunk_inputs)
+            correct_weighted += top1_accuracy(logits, chunk_targets) * len(chunk_inputs)
+            count += len(chunk_inputs)
+        self.model.train()
+        return correct_weighted / max(count, 1)

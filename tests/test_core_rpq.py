@@ -1,0 +1,131 @@
+"""Tests for Random Projection with Quantization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rpq import RPQHasher, pack_bits, signature_via_convolution
+
+
+def test_pack_bits_small():
+    packed = pack_bits(np.array([[1, 0, 1], [0, 0, 1]]))
+    assert list(packed) == [5, 1]
+
+
+def test_pack_bits_long_signature_uses_python_ints():
+    bits = np.ones((2, 70), dtype=np.uint8)
+    packed = pack_bits(bits)
+    assert packed.dtype == object
+    assert packed[0] == (1 << 70) - 1
+
+
+def test_identical_vectors_share_signatures():
+    hasher = RPQHasher(seed=1)
+    vectors = np.vstack([np.ones(9), np.ones(9)])
+    sigs = hasher.signatures(vectors, 16)
+    assert sigs[0] == sigs[1]
+
+
+def test_similar_vectors_likely_share_signatures():
+    rng = np.random.default_rng(0)
+    hasher = RPQHasher(seed=1)
+    base = rng.normal(size=(50, 12))
+    perturbed = base + rng.normal(0, 1e-4, size=base.shape)
+    sig_a = hasher.signatures(base, 20)
+    sig_b = hasher.signatures(perturbed, 20)
+    match = np.mean([a == b for a, b in zip(sig_a, sig_b)])
+    assert match > 0.9
+
+
+def test_dissimilar_vectors_rarely_share_signatures():
+    rng = np.random.default_rng(1)
+    hasher = RPQHasher(seed=1)
+    a = rng.normal(size=(100, 12))
+    b = rng.normal(size=(100, 12))
+    sig_a = hasher.signatures(a, 24)
+    sig_b = hasher.signatures(b, 24)
+    match = np.mean([x == y for x, y in zip(sig_a, sig_b)])
+    assert match < 0.1
+
+
+def test_projection_matrix_is_cached_and_deterministic():
+    hasher = RPQHasher(seed=5)
+    first = hasher.projection_matrix(9, 16)
+    second = hasher.projection_matrix(9, 16)
+    assert first is second
+    other = RPQHasher(seed=5).projection_matrix(9, 16)
+    np.testing.assert_array_equal(first, other)
+
+
+def test_longer_signatures_find_more_unique_vectors():
+    rng = np.random.default_rng(2)
+    hasher = RPQHasher(seed=7)
+    originals = rng.normal(size=(10, 10))
+    copies = [originals + rng.normal(0, 0.01, size=originals.shape)
+              for _ in range(10)]
+    vectors = np.concatenate([originals] + copies, axis=0)
+    short = hasher.unique_vector_count(vectors, 4)
+    long = hasher.unique_vector_count(vectors, 40)
+    assert short <= long
+    # With a long signature the estimate is near the true count of 10.
+    assert 8 <= long <= 30
+
+
+def test_similarity_fraction_bounds():
+    rng = np.random.default_rng(3)
+    hasher = RPQHasher(seed=1)
+    vectors = rng.normal(size=(30, 8))
+    fraction = hasher.similarity_fraction(vectors, 16)
+    assert 0.0 <= fraction <= 1.0
+
+
+def test_similarity_fraction_of_identical_vectors_is_high():
+    hasher = RPQHasher(seed=1)
+    vectors = np.tile(np.arange(6, dtype=float), (10, 1))
+    assert hasher.similarity_fraction(vectors, 16) == 0.9
+
+
+def test_signature_via_convolution_matches_direct_hash():
+    """The paper's §III-B1 formulation equals hashing the im2col rows."""
+    rng = np.random.default_rng(4)
+    image = rng.normal(size=(6, 6))
+    kernel_size = 3
+    hasher = RPQHasher(seed=9)
+    projection = hasher.projection_matrix(kernel_size * kernel_size, 12)
+
+    conv_sigs = signature_via_convolution(image, kernel_size, projection)
+
+    from repro.nn.im2col import im2col
+    cols = im2col(image[None, None], kernel_size, kernel_size)
+    direct_sigs = hasher.signatures(cols, 12)
+    assert list(conv_sigs) == list(direct_sigs)
+
+
+def test_scale_invariance_of_sign_quantization():
+    """Sign-based RPQ hashes direction, not magnitude (documented property)."""
+    hasher = RPQHasher(seed=1)
+    vector = np.arange(1, 10, dtype=float)
+    sigs = hasher.signatures(np.vstack([vector, 3.0 * vector]), 20)
+    assert sigs[0] == sigs[1]
+
+
+@settings(deadline=None, max_examples=25)
+@given(n_bits=st.integers(1, 62), n_vectors=st.integers(1, 20))
+def test_pack_bits_round_trip_property(n_bits, n_vectors):
+    rng = np.random.default_rng(n_bits * 100 + n_vectors)
+    bits = rng.integers(0, 2, size=(n_vectors, n_bits))
+    packed = pack_bits(bits)
+    for row in range(n_vectors):
+        expected = int("".join(map(str, bits[row])), 2)
+        assert int(packed[row]) == expected
+
+
+@settings(deadline=None, max_examples=20)
+@given(dim=st.integers(2, 16), bits=st.integers(1, 32))
+def test_signatures_are_deterministic_property(dim, bits):
+    rng = np.random.default_rng(dim * 37 + bits)
+    vectors = rng.normal(size=(5, dim))
+    hasher_a = RPQHasher(seed=11)
+    hasher_b = RPQHasher(seed=11)
+    assert list(hasher_a.signatures(vectors, bits)) == \
+        list(hasher_b.signatures(vectors, bits))

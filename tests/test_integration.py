@@ -1,0 +1,147 @@
+"""End-to-end integration tests across the functional and timing layers."""
+
+import numpy as np
+import pytest
+
+from repro import MercuryConfig, ReuseEngine
+from repro.accelerator import BaselineAccelerator, MercurySimulator
+from repro.baselines import CaptureEngine
+from repro.core.reuse import ExactCountingEngine
+from repro.data import ClusteredImageDataset, ImageDatasetConfig, train_test_split
+from repro.models import build_model
+from repro.nn import CrossEntropyLoss
+from repro.training import Trainer, TrainingConfig
+
+RNG = np.random.default_rng(23)
+
+
+def _dataset():
+    return ClusteredImageDataset(ImageDatasetConfig(num_classes=4,
+                                                    samples_per_class=10,
+                                                    image_size=16))
+
+
+def test_conv_layer_reuse_output_close_to_exact():
+    """With long signatures the reused forward pass tracks the exact one."""
+    dataset = _dataset()
+    exact_model = build_model("squeezenet", num_classes=4, seed=3)
+    reuse_model = build_model("squeezenet", num_classes=4, seed=3)
+    engine = ReuseEngine(MercuryConfig(signature_bits=30,
+                                       adaptive_stoppage=False))
+    reuse_model.set_engine(engine)
+
+    x = dataset.images[:6]
+    exact_logits = exact_model(x)
+    reuse_logits = reuse_model(x)
+    # Outputs differ only where similar-but-not-identical patches merged;
+    # the approximation stays within the logits' own scale.
+    difference = np.abs(exact_logits - reuse_logits).mean()
+    scale = np.abs(exact_logits).mean()
+    assert difference < scale
+    assert engine.stats.overall_hit_fraction > 0.1
+
+
+def test_mercury_training_matches_baseline_accuracy():
+    """The Figure 13 claim at miniature scale: comparable accuracy."""
+    dataset = _dataset()
+    xtr, ytr, xte, yte = train_test_split(dataset.images, dataset.labels,
+                                          test_fraction=0.25, seed=0)
+    config = TrainingConfig(epochs=4, batch_size=8, learning_rate=0.01,
+                            optimizer="adam")
+
+    baseline_model = build_model("squeezenet", num_classes=4, seed=1)
+    baseline = Trainer(baseline_model, config).fit(xtr, ytr,
+                                                   validation=(xte, yte))
+
+    mercury_model = build_model("squeezenet", num_classes=4, seed=1)
+    engine = ReuseEngine(MercuryConfig(signature_bits=20))
+    mercury = Trainer(mercury_model, config, engine=engine).fit(
+        xtr, ytr, validation=(xte, yte))
+
+    assert baseline.final_validation_accuracy >= 0.45
+    assert mercury.final_validation_accuracy >= \
+        baseline.final_validation_accuracy - 0.3
+    # Training with reuse still makes progress and detects similarity.
+    assert mercury.epoch_losses[-1] < mercury.epoch_losses[0]
+    assert engine.stats.overall_hit_fraction > 0.03
+
+
+def test_simulator_consumes_training_statistics():
+    dataset = _dataset()
+    config = MercuryConfig(signature_bits=16)
+    engine = ReuseEngine(config)
+    model = build_model("mobilenet_v2", num_classes=4, seed=0)
+    trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=8,
+                                            learning_rate=0.01,
+                                            optimizer="adam"), engine=engine)
+    trainer.fit(dataset.images, dataset.labels)
+
+    report = MercurySimulator(config).simulate(engine.stats, "mobilenet_v2")
+    assert report.baseline_total_cycles > 0
+    assert report.mercury_total_cycles > 0
+    assert 0.0 <= report.signature_fraction <= 1.0
+    baseline = BaselineAccelerator()
+    assert baseline.total_cycles(engine.stats) == pytest.approx(
+        report.baseline_total_cycles)
+
+
+def test_counting_and_reuse_engines_see_identical_workload_shapes():
+    """Both engines observe the same total per-layer MAC workload."""
+    x = RNG.normal(size=(2, 3, 32, 32))
+    y = RNG.integers(0, 4, size=2)
+    loss_fn = CrossEntropyLoss()
+
+    shapes = {}
+    for label, engine in (("exact", ExactCountingEngine()),
+                          ("reuse", ReuseEngine(MercuryConfig(
+                              signature_bits=12, adaptive_stoppage=False)))):
+        model = build_model("alexnet", num_classes=4, seed=2)
+        model.set_engine(engine)
+        logits = model(x)
+        loss_fn(logits, y)
+        model.zero_grad()
+        model.backward(loss_fn.backward())
+        shapes[label] = {
+            (rec.layer, rec.phase): rec.baseline_macs
+            for rec in engine.stats.all_records()}
+    assert shapes["exact"].keys() == shapes["reuse"].keys()
+    for key in shapes["exact"]:
+        assert shapes["exact"][key] == shapes["reuse"][key]
+
+
+def test_backward_reuse_does_not_break_gradient_shapes():
+    model = build_model("googlenet", num_classes=4, seed=0)
+    engine = ReuseEngine(MercuryConfig(signature_bits=16))
+    model.set_engine(engine)
+    x = RNG.normal(size=(2, 3, 32, 32))
+    loss_fn = CrossEntropyLoss()
+    logits = model(x)
+    loss_fn(logits, RNG.integers(0, 4, size=2))
+    model.zero_grad()
+    grad = model.backward(loss_fn.backward())
+    assert grad.shape == x.shape
+    assert any(rec.phase == "backward" for rec in engine.stats.all_records())
+
+
+def test_capture_engine_with_full_model_matches_exact_forward():
+    model_a = build_model("alexnet", num_classes=4, seed=5)
+    model_b = build_model("alexnet", num_classes=4, seed=5)
+    model_b.set_engine(CaptureEngine())
+    model_a.eval()
+    model_b.eval()
+    x = RNG.normal(size=(2, 3, 32, 32))
+    np.testing.assert_allclose(model_a(x), model_b(x))
+
+
+def test_transformer_training_with_reuse_learns():
+    from repro.data import TranslationConfig, TranslationDataset
+    dataset = TranslationDataset(TranslationConfig(num_samples=96,
+                                                   vocab_size=32))
+    model = build_model("transformer", num_classes=32, seed=0)
+    engine = ReuseEngine(MercuryConfig(signature_bits=20))
+    trainer = Trainer(model, TrainingConfig(epochs=3, batch_size=16,
+                                            learning_rate=0.01,
+                                            optimizer="adam"), engine=engine)
+    result = trainer.fit(dataset.sources, dataset.targets)
+    assert result.epoch_losses[-1] < result.epoch_losses[0]
+    assert engine.stats.total_vectors > 0

@@ -1,0 +1,177 @@
+"""Tests for losses, optimizers and the Sequential/Module plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, Conv2D, CrossEntropyLoss, Flatten, Linear, MSELoss,
+                      ReLU, SGD, Sequential)
+from repro.nn.module import Module, Parameter, assign_unique_layer_names
+from tests.helpers import numerical_gradient, relative_error
+
+RNG = np.random.default_rng(3)
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def test_cross_entropy_uniform_logits():
+    loss = CrossEntropyLoss()
+    value = loss(np.zeros((4, 10)), np.arange(4))
+    assert np.isclose(value, np.log(10))
+
+
+def test_cross_entropy_gradient_matches_numeric():
+    loss = CrossEntropyLoss()
+    logits = RNG.normal(size=(3, 5))
+    targets = np.array([0, 2, 4])
+    loss(logits, targets)
+    analytic = loss.backward()
+
+    def value():
+        return loss.forward(logits, targets)
+
+    numeric = numerical_gradient(value, logits)
+    assert relative_error(analytic, numeric) < 1e-4
+
+
+def test_cross_entropy_ignore_index():
+    loss = CrossEntropyLoss(ignore_index=0)
+    logits = RNG.normal(size=(2, 2, 4))
+    targets = np.array([[1, 0], [2, 0]])
+    loss(logits, targets)
+    grad = loss.backward()
+    # Ignored positions receive zero gradient.
+    np.testing.assert_array_equal(grad[0, 1], np.zeros(4))
+    assert np.any(grad[0, 0] != 0)
+
+
+def test_cross_entropy_all_ignored_raises():
+    loss = CrossEntropyLoss(ignore_index=0)
+    with pytest.raises(ValueError):
+        loss(np.zeros((1, 2, 3)), np.zeros((1, 2), dtype=int))
+
+
+def test_mse_loss_and_gradient():
+    loss = MSELoss()
+    pred = np.array([1.0, 2.0, 3.0])
+    target = np.array([1.0, 1.0, 1.0])
+    assert np.isclose(loss(pred, target), (0 + 1 + 4) / 3)
+    np.testing.assert_allclose(loss.backward(), 2 * (pred - target) / 3)
+
+
+# ----------------------------------------------------------------------
+# Optimizers
+# ----------------------------------------------------------------------
+def _quadratic_parameter():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+def test_sgd_descends_quadratic():
+    param = _quadratic_parameter()
+    optimizer = SGD([param], lr=0.1)
+    for _ in range(100):
+        param.zero_grad()
+        param.grad += 2 * param.value
+        optimizer.step()
+    assert np.all(np.abs(param.value) < 1e-3)
+
+
+def test_sgd_momentum_faster_than_plain():
+    def run(momentum):
+        param = _quadratic_parameter()
+        optimizer = SGD([param], lr=0.02, momentum=momentum)
+        for _ in range(50):
+            param.zero_grad()
+            param.grad += 2 * param.value
+            optimizer.step()
+        return np.abs(param.value).max()
+
+    assert run(0.9) < run(0.0)
+
+
+def test_sgd_weight_decay_shrinks_weights():
+    param = Parameter(np.ones(3))
+    optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+    optimizer.step()  # gradient is zero; only decay applies
+    assert np.all(param.value < 1.0)
+
+
+def test_adam_descends_quadratic():
+    param = _quadratic_parameter()
+    optimizer = Adam([param], lr=0.2)
+    for _ in range(200):
+        param.zero_grad()
+        param.grad += 2 * param.value
+        optimizer.step()
+    assert np.all(np.abs(param.value) < 1e-2)
+
+
+def test_optimizer_requires_parameters():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_zero_grad_clears_gradients():
+    param = Parameter(np.ones(4))
+    param.grad += 3.0
+    optimizer = SGD([param], lr=0.1)
+    optimizer.zero_grad()
+    np.testing.assert_array_equal(param.grad, np.zeros(4))
+
+
+# ----------------------------------------------------------------------
+# Module / Sequential
+# ----------------------------------------------------------------------
+def test_sequential_forward_backward_consistency():
+    model = Sequential(Linear(6, 4, seed=0), ReLU(), Linear(4, 2, seed=1))
+    x = RNG.normal(size=(3, 6))
+    out = model(x)
+    assert out.shape == (3, 2)
+    grad = model.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+
+
+def test_sequential_parameter_discovery():
+    model = Sequential(Conv2D(1, 2, 3, seed=0), Flatten(), Linear(2 * 4, 3, seed=1))
+    names = [name for name, _ in model.named_parameters()]
+    assert any("conv" in n or "weight" in n for n in names)
+    # conv weight+bias, linear weight+bias
+    assert len(model.parameters()) == 4
+
+
+def test_sequential_layer_names_unique():
+    model = Sequential(ReLU(), ReLU(), ReLU())
+    names = [layer.layer_name for layer in model.layers]
+    assert len(set(names)) == 3
+
+
+def test_assign_unique_layer_names():
+    model = Sequential(ReLU(), Sequential(ReLU(), ReLU()))
+    assign_unique_layer_names(model, prefix="m")
+    names = [m.layer_name for m in model.modules()]
+    assert len(names) == len(set(names))
+
+
+def test_train_eval_propagates():
+    model = Sequential(ReLU(), Sequential(ReLU()))
+    model.eval()
+    assert all(not m.training for m in model.modules())
+    model.train()
+    assert all(m.training for m in model.modules())
+
+
+def test_set_engine_propagates():
+    model = Sequential(Linear(2, 2), Sequential(Linear(2, 2)))
+    sentinel = object()
+    model.set_engine(sentinel)
+    assert all(m.engine is sentinel for m in model.modules())
+
+
+def test_num_parameters_counts_all():
+    model = Sequential(Linear(3, 4, bias=False), Linear(4, 2, bias=True))
+    assert model.num_parameters() == 3 * 4 + 4 * 2 + 2
+
+
+def test_module_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module().forward(np.zeros(1))
