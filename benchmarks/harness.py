@@ -128,6 +128,20 @@ def all_model_speedups(config: MercuryConfig | None = None,
             for name in models}
 
 
+def scenario_sweep(models=None, dataflows=("row_stationary",),
+                   organizations=((1024, 16),), processes: int | None = None):
+    """Grid sweep over models x dataflows x MCACHE organisations.
+
+    Thin wrapper over :mod:`repro.analysis.sweep` so benchmarks and
+    ad-hoc scripts share one executor; returns a
+    :class:`repro.analysis.sweep.SweepResults`.
+    """
+    from repro.analysis.sweep import build_grid, run_sweep
+    points = build_grid(models or MODEL_NAMES, dataflows=dataflows,
+                        organizations=organizations)
+    return run_sweep(points, processes=processes)
+
+
 def print_header(title: str) -> None:
     print()
     print("=" * 78)

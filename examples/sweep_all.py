@@ -1,0 +1,84 @@
+"""Run the full scenario sweep: models x dataflows x MCACHE organisations.
+
+Fans the grid out over a multiprocessing pool, prints the aggregate
+tables and writes every row to a JSON file for downstream analysis.
+
+    python examples/sweep_all.py
+    python examples/sweep_all.py --models vgg13 resnet50 \
+        --dataflows row_stationary weight_stationary \
+        --organizations 512x8 1024x16 2048x16 \
+        --processes 4 --output sweep_results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.analysis.sweep import DEFAULT_ORGANIZATIONS, build_grid, run_sweep
+from repro.models import MODEL_NAMES
+
+ALL_DATAFLOWS = ("row_stationary", "weight_stationary", "input_stationary")
+
+
+def parse_organization(text: str) -> tuple[int, int]:
+    """Parse an ``ENTRIESxWAYS`` spec such as ``1024x16``."""
+    try:
+        entries, ways = (int(part) for part in text.lower().split("x"))
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"expected ENTRIESxWAYS (e.g. 1024x16), got {text!r}") from error
+    if entries <= 0 or ways <= 0 or entries % ways != 0:
+        raise argparse.ArgumentTypeError(
+            f"entries must be a positive multiple of ways, got {text!r}")
+    return entries, ways
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", nargs="+", default=list(MODEL_NAMES),
+                        choices=list(MODEL_NAMES), metavar="MODEL")
+    parser.add_argument("--dataflows", nargs="+", default=list(ALL_DATAFLOWS),
+                        choices=list(ALL_DATAFLOWS), metavar="DATAFLOW")
+    parser.add_argument("--organizations", nargs="+",
+                        type=parse_organization,
+                        default=list(DEFAULT_ORGANIZATIONS),
+                        metavar="ENTRIESxWAYS")
+    parser.add_argument("--signature-bits", nargs="+", type=int, default=[20])
+    parser.add_argument("--processes", type=int, default=None,
+                        help="pool size (0 = run in-process)")
+    parser.add_argument("--output", default="sweep_results.json")
+    args = parser.parse_args(argv)
+
+    points = build_grid(args.models, dataflows=args.dataflows,
+                        organizations=args.organizations,
+                        signature_bits=args.signature_bits)
+    print(f"Sweeping {len(points)} scenarios "
+          f"({len(args.models)} models x {len(args.dataflows)} dataflows x "
+          f"{len(args.organizations)} MCACHE organisations x "
+          f"{len(args.signature_bits)} signature lengths)...")
+    results = run_sweep(points, processes=args.processes)
+
+    rows = [[row["model"], row["dataflow"],
+             f"{row['mcache_entries']}x{row['mcache_ways']}",
+             row["signature_bits"], row["speedup"], row["signature_fraction"]]
+            for row in results.rows]
+    print(format_table(["model", "dataflow", "mcache", "bits", "speedup",
+                        "sig fraction"], rows, "{:.3f}"))
+
+    summary = results.summary()
+    print(f"\n{summary['points']} points in {summary['elapsed_s']:.2f}s")
+    print("Geomean speedup per dataflow:")
+    for dataflow, value in summary["geomean_by_dataflow"].items():
+        print(f"  {dataflow:>18}: {value:.2f}x")
+    print("Best configuration per model:")
+    for model, best in summary["best_per_model"].items():
+        print(f"  {model:>14}: {best['speedup']:.2f}x on {best['dataflow']} "
+              f"with {best['mcache_entries']}x{best['mcache_ways']} MCACHE")
+
+    results.save(args.output)
+    print(f"\nWrote {len(results)} rows to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -94,6 +94,22 @@ class SimulationReport:
         layers_on -= layers_off
         return {"on": len(layers_on), "off": len(layers_off)}
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary row (consumed by the sweep runner)."""
+        on_off = self.layers_on_off()
+        return {
+            "model": self.model_name,
+            "dataflow": self.dataflow,
+            "baseline_cycles": float(self.baseline_total_cycles),
+            "mercury_cycles": float(self.mercury_total_cycles),
+            "signature_cycles": float(self.mercury_signature_cycles),
+            "compute_cycles": float(self.mercury_compute_cycles),
+            "speedup": float(self.speedup),
+            "signature_fraction": float(self.signature_fraction),
+            "layers_on": on_off["on"],
+            "layers_off": on_off["off"],
+        }
+
     def per_layer_speedups(self) -> dict:
         """Layer name -> speedup, merging forward and backward phases."""
         by_layer: dict[str, dict[str, float]] = {}

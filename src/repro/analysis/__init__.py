@@ -1,4 +1,4 @@
-"""Characterisation utilities (similarity measurement and reporting)."""
+"""Characterisation utilities (similarity measurement, sweeps, reporting)."""
 
 from repro.analysis.similarity import (
     LayerSimilarity,
@@ -7,6 +7,14 @@ from repro.analysis.similarity import (
     rpq_unique_vector_experiment,
 )
 from repro.analysis.reporting import format_table, geomean
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepResults,
+    build_grid,
+    evaluate_point,
+    measure_hit_scale,
+    run_sweep,
+)
 
 __all__ = [
     "LayerSimilarity",
@@ -15,4 +23,10 @@ __all__ = [
     "rpq_unique_vector_experiment",
     "format_table",
     "geomean",
+    "SweepPoint",
+    "SweepResults",
+    "build_grid",
+    "evaluate_point",
+    "measure_hit_scale",
+    "run_sweep",
 ]

@@ -5,6 +5,12 @@ from repro.core.rpq import RPQHasher, pack_bits, signature_via_convolution
 from repro.core.signature import SignatureTable
 from repro.core.hitmap import Hitmap, HitState
 from repro.core.mcache import MCache
+from repro.core.mcache_vec import VectorizedMCache
+from repro.core.differential import (
+    DifferentialReport,
+    run_differential,
+    scalar_reference_simulation,
+)
 from repro.core.reuse import ReuseEngine
 from repro.core.stats import LayerReuseStats, ReuseStats
 from repro.core.adaptation import SignatureLengthScheduler, SimilarityStoppage
@@ -18,6 +24,10 @@ __all__ = [
     "Hitmap",
     "HitState",
     "MCache",
+    "VectorizedMCache",
+    "DifferentialReport",
+    "run_differential",
+    "scalar_reference_simulation",
     "ReuseEngine",
     "LayerReuseStats",
     "ReuseStats",

@@ -28,6 +28,11 @@ class MercuryConfig:
     # Number of data versions per line (asynchronous design keeps one
     # version per in-flight filter); the synchronous design uses 1.
     mcache_versions: int = 1
+    # Which MCACHE model builds the Hitmap: "vectorized" (the batch
+    # array-of-sets engine), "groupby" (the stateless numpy group-by
+    # simulation) or "scalar" (the line-level oracle; exact but slow).
+    # All three are bit-identical — the differential suite enforces it.
+    mcache_backend: str = "vectorized"
 
     # --- Adaptation (§III-D) ---------------------------------------------
     # Increase signature length by one bit when the running loss changes
@@ -73,6 +78,8 @@ class MercuryConfig:
         if self.dataflow not in ("row_stationary", "weight_stationary",
                                  "input_stationary"):
             raise ValueError(f"unknown dataflow {self.dataflow!r}")
+        if self.mcache_backend not in ("vectorized", "groupby", "scalar"):
+            raise ValueError(f"unknown mcache_backend {self.mcache_backend!r}")
 
     @property
     def mcache_sets(self) -> int:

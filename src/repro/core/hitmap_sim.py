@@ -44,6 +44,25 @@ class HitmapSimulation:
         return hitmap
 
 
+def rank_within_groups(sorted_keys: np.ndarray) -> np.ndarray:
+    """Rank of each element within its run of equal, pre-sorted keys.
+
+    ``sorted_keys`` must be grouped (equal values adjacent); the result
+    counts 0, 1, 2, ... within each run.  Shared by the stateless
+    group-by simulation below and the batch MCACHE's insert competition
+    (:mod:`repro.core.mcache_vec`) so the two stay structurally, not
+    just observably, identical.
+    """
+    num_keys = len(sorted_keys)
+    if num_keys == 0:
+        return np.empty(0, dtype=np.int64)
+    new_group = np.ones(num_keys, dtype=bool)
+    new_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    group_starts = np.flatnonzero(new_group)
+    group_ids = np.cumsum(new_group) - 1
+    return np.arange(num_keys) - group_starts[group_ids]
+
+
 def simulate_hitmap(signatures: np.ndarray, num_sets: int,
                     ways: int) -> HitmapSimulation:
     """Classify every signature as HIT, MAU or MNU.
@@ -90,11 +109,7 @@ def _simulate_vectorised(signatures: np.ndarray, num_sets: int,
 
     by_set = np.argsort(sets_in_arrival, kind="stable")
     sorted_sets = sets_in_arrival[by_set]
-    new_group = np.ones(len(sorted_sets), dtype=bool)
-    new_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
-    group_starts = np.flatnonzero(new_group)
-    group_ids = np.cumsum(new_group) - 1
-    rank_within_set = np.arange(len(sorted_sets)) - group_starts[group_ids]
+    rank_within_set = rank_within_groups(sorted_sets)
 
     inserted_in_arrival = np.empty(len(sorted_sets), dtype=bool)
     inserted_in_arrival[by_set] = rank_within_set < ways

@@ -1,0 +1,346 @@
+"""Vectorized batch MCACHE.
+
+:class:`VectorizedMCache` is a drop-in, array-backed implementation of
+the signature-indexed result cache in :mod:`repro.core.mcache`.  Where
+the scalar :class:`~repro.core.mcache.MCache` models the hardware line
+by line (one Python loop iteration per probe), this engine keeps the
+tag / Valid-Tag / Valid-Data state as dense numpy arrays over the
+``(set, way)`` grid and services a whole batch of probes with sort-based
+group-by operations, the same technique as
+:func:`repro.core.hitmap_sim.simulate_hitmap` but against *persistent*
+cache state.
+
+The two implementations are bit-identical by construction and by test:
+``tests/test_mcache_differential.py`` replays randomized traces through
+both and asserts equal Hitmap states, entry ids, stats counters and
+data-phase contents.  The scalar model stays in the tree as the oracle.
+
+Batch semantics match a sequential replay of the trace:
+
+* a signature already resident (from this batch or an earlier one) is a
+  HIT on every occurrence;
+* the first occurrence of a new signature whose set still has a free
+  way is MAU, claims the lowest free way and the next entry id;
+* later occurrences of an inserted signature are HITs on that entry;
+* every occurrence of a new signature whose set was already full at its
+  first occurrence is MNU — no replacement (§III-B3, Figure 9).
+
+Because Valid-Tag bits are only ever cleared by a full :meth:`clear`
+(``invalidate_data`` flash-clears VD bits only), the occupied ways of a
+set are always a prefix ``0..occupancy-1``, which is what lets the
+batch insert compute way indices arithmetically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hitmap import HitState
+from repro.core.hitmap_sim import HitmapSimulation, rank_within_groups
+from repro.core.mcache import MCacheStats
+
+
+class VectorizedMCache:
+    """Set-associative, no-replacement cache with batch probe/insert.
+
+    Parameters mirror :class:`~repro.core.mcache.MCache`: ``entries``
+    total lines, ``ways`` associativity and ``versions`` data slots per
+    line.
+    """
+
+    def __init__(self, entries: int = 1024, ways: int = 16, versions: int = 1):
+        if entries <= 0 or ways <= 0 or versions <= 0:
+            raise ValueError("entries, ways and versions must be positive")
+        if entries % ways != 0:
+            raise ValueError("entries must be divisible by ways")
+        self.entries = entries
+        self.ways = ways
+        self.versions = versions
+        self.num_sets = entries // ways
+        self.stats = MCacheStats()
+        self._tags = np.zeros((self.num_sets, ways), dtype=np.int64)
+        self._valid_tag = np.zeros((self.num_sets, ways), dtype=bool)
+        self._line_entry = np.full((self.num_sets, ways), -1, dtype=np.int64)
+        self._occupancy = np.zeros(self.num_sets, dtype=np.int64)
+        self._valid_data = np.zeros((self.num_sets, ways, versions), dtype=bool)
+        self._data = np.empty((self.num_sets, ways, versions), dtype=object)
+        # entry_id -> (set, way); entry ids are dense 0..N-1 so plain
+        # arrays indexed by id replace the scalar model's dict.
+        self._entry_set = np.empty(0, dtype=np.int64)
+        self._entry_way = np.empty(0, dtype=np.int64)
+        self._next_entry_id = 0
+
+    # ------------------------------------------------------------------
+    # Indexing (same split as the scalar model)
+    # ------------------------------------------------------------------
+    def set_index(self, signature: int) -> int:
+        """Cache set for a signature (low-order bits)."""
+        return signature % self.num_sets
+
+    def tag(self, signature: int) -> int:
+        """Tag portion of a signature (remaining high-order bits)."""
+        return signature // self.num_sets
+
+    def _normalize(self, signatures) -> np.ndarray:
+        """Return a 1-D int64 array, or an object array of exact ints.
+
+        Signatures longer than 62 bits (reachable through adaptive
+        signature growth) do not fit int64; the group-by code below is
+        dtype-generic, so such batches run on object arrays of Python
+        ints and the stored tags are promoted to objects once.
+        """
+        arr = np.atleast_1d(np.asarray(signatures))
+        if arr.ndim != 1:
+            raise ValueError("signatures must be one-dimensional")
+        if arr.dtype == np.int64:
+            return arr
+        try:
+            as_int64 = arr.astype(np.int64)
+            if np.array_equal(as_int64.astype(object), arr.astype(object)):
+                return as_int64
+        except (OverflowError, TypeError, ValueError):
+            pass
+        if self._tags.dtype != object:
+            self._tags = self._tags.astype(object)
+        return arr.astype(object)
+
+    # ------------------------------------------------------------------
+    # Signature phase — batch probe and insert
+    # ------------------------------------------------------------------
+    def lookup_or_insert_batch(self, signatures) -> tuple[np.ndarray, np.ndarray]:
+        """Probe MCACHE with a batch of signatures in arrival order.
+
+        Equivalent to calling the scalar model's ``lookup_or_insert``
+        once per element; returns ``(states, entry_ids)`` where
+        ``states`` is an object array of :class:`HitState` and
+        ``entry_ids`` holds the owning cache entry (-1 for MNU).
+        """
+        sigs = self._normalize(signatures)
+        if len(sigs) == 0:
+            return (np.empty(0, dtype=object), np.empty(0, dtype=np.int64))
+        unique_values, first_index, inverse = np.unique(
+            sigs, return_index=True, return_inverse=True)
+        states, entry_ids, _masks = self._probe_prepared(
+            unique_values, first_index, inverse, len(sigs))
+        return states, entry_ids
+
+    def _probe_prepared(self, unique_values, first_index, inverse,
+                        num_probes) -> tuple[np.ndarray, np.ndarray, tuple]:
+        """Batch probe/insert given a precomputed group-by of the batch."""
+        num_unique = len(unique_values)
+        unique_sets = (unique_values % self.num_sets).astype(np.int64)
+        unique_tags = unique_values // self.num_sets
+
+        # Which unique signatures are already resident?  An empty cache
+        # (the per-layer fresh-clear path) skips the (U, ways) candidate
+        # gather, which matters for fully-associative geometries.
+        unique_entry = np.full(num_unique, -1, dtype=np.int64)
+        if self._next_entry_id == 0:
+            present = np.zeros(num_unique, dtype=bool)
+        else:
+            candidate_tags = self._tags[unique_sets]        # (U, ways)
+            candidate_valid = self._valid_tag[unique_sets]
+            match = candidate_valid & np.asarray(
+                candidate_tags == unique_tags[:, None], dtype=bool)
+            present = match.any(axis=1)
+            present_way = np.argmax(match, axis=1)
+            unique_entry[present] = self._line_entry[
+                unique_sets[present], present_way[present]]
+
+        # Absent uniques compete for free ways in first-occurrence order.
+        absent = np.flatnonzero(~present)
+        arrival = absent[np.argsort(first_index[absent], kind="stable")]
+        arrival_sets = unique_sets[arrival]
+        by_set = np.argsort(arrival_sets, kind="stable")
+        sorted_sets = arrival_sets[by_set]
+        rank_within_set = rank_within_groups(sorted_sets)
+
+        free_ways = self.ways - self._occupancy[sorted_sets]
+        inserted_sorted = rank_within_set < free_ways
+        inserted_arrival = np.empty(len(arrival), dtype=bool)
+        inserted_arrival[by_set] = inserted_sorted
+        # Valid ways form a prefix, so the k-th insertion into a set
+        # lands in way occupancy + k (the scalar model's "first invalid
+        # way" scan).
+        way_sorted = self._occupancy[sorted_sets] + rank_within_set
+        way_arrival = np.empty(len(arrival), dtype=np.int64)
+        way_arrival[by_set] = way_sorted
+
+        inserted = arrival[inserted_arrival]   # unique indices, arrival order
+        inserted_sets = unique_sets[inserted]
+        inserted_ways = way_arrival[inserted_arrival]
+        new_ids = self._next_entry_id + np.arange(len(inserted), dtype=np.int64)
+
+        self._tags[inserted_sets, inserted_ways] = unique_tags[inserted]
+        self._valid_tag[inserted_sets, inserted_ways] = True
+        self._line_entry[inserted_sets, inserted_ways] = new_ids
+        np.add.at(self._occupancy, inserted_sets, 1)
+        self._entry_set = np.concatenate([self._entry_set, inserted_sets])
+        self._entry_way = np.concatenate([self._entry_way, inserted_ways])
+        self._next_entry_id += len(inserted)
+        unique_entry[inserted] = new_ids
+
+        # Per-unique category: 0 resident before batch, 1 inserted, 2 rejected.
+        unique_state = np.empty(num_unique, dtype=np.int8)
+        unique_state[present] = 0
+        unique_state[arrival] = np.where(inserted_arrival, 1, 2)
+
+        is_first = np.zeros(num_probes, dtype=bool)
+        is_first[first_index] = True
+        element_state = unique_state[inverse]
+        hit_mask = (element_state == 0) | ((element_state == 1) & ~is_first)
+        mau_mask = (element_state == 1) & is_first
+        mnu_mask = element_state == 2
+
+        states = np.empty(num_probes, dtype=object)
+        states[hit_mask] = HitState.HIT
+        states[mau_mask] = HitState.MAU
+        states[mnu_mask] = HitState.MNU
+        self.stats.hits += int(hit_mask.sum())
+        self.stats.mau += int(mau_mask.sum())
+        self.stats.mnu += int(mnu_mask.sum())
+        return states, unique_entry[inverse], (hit_mask, mau_mask, mnu_mask)
+
+    def lookup_or_insert(self, signature: int) -> tuple[HitState, int]:
+        """Scalar probe, for API parity with the line-level model."""
+        states, entries = self.lookup_or_insert_batch([signature])
+        return states[0], int(entries[0])
+
+    def probe_batch(self, signatures) -> tuple[np.ndarray, np.ndarray]:
+        """Non-mutating batch lookup; returns (present, entry_ids)."""
+        sigs = self._normalize(signatures)
+        if len(sigs) == 0:
+            return (np.empty(0, dtype=bool), np.empty(0, dtype=np.int64))
+        sets = (sigs % self.num_sets).astype(np.int64)
+        tags = sigs // self.num_sets
+        match = self._valid_tag[sets] & np.asarray(
+            self._tags[sets] == tags[:, None], dtype=bool)
+        present = match.any(axis=1)
+        way = np.argmax(match, axis=1)
+        entry_ids = np.full(len(sigs), -1, dtype=np.int64)
+        entry_ids[present] = self._line_entry[sets[present], way[present]]
+        return present, entry_ids
+
+    def probe(self, signature: int) -> tuple[bool, int]:
+        """Non-mutating scalar lookup; returns (present, entry_id)."""
+        present, entry_ids = self.probe_batch([signature])
+        return bool(present[0]), int(entry_ids[0])
+
+    # ------------------------------------------------------------------
+    # Hitmap simulation (fresh cache, one batch — the reuse-engine path)
+    # ------------------------------------------------------------------
+    def simulate(self, signatures) -> HitmapSimulation:
+        """Clear the cache, replay one batch and return its Hitmap.
+
+        Produces the same :class:`HitmapSimulation` as
+        :func:`repro.core.hitmap_sim.simulate_hitmap` for the same
+        geometry; access counters accumulate in :attr:`stats` across
+        calls (the cache contents do not survive, matching the reuse
+        engine's freshly-cleared-MCACHE-per-layer semantics).
+        """
+        self.clear()
+        sigs = self._normalize(signatures)
+        num_probes = len(sigs)
+        if num_probes == 0:
+            return HitmapSimulation(states=np.empty(0, dtype=object),
+                                    representative=np.empty(0, dtype=np.int64),
+                                    hits=0, mau=0, mnu=0, unique_signatures=0)
+        unique_values, first_index, inverse = np.unique(
+            sigs, return_index=True, return_inverse=True)
+        states, _, (hit_mask, mau_mask, mnu_mask) = self._probe_prepared(
+            unique_values, first_index, inverse, num_probes)
+        representative = np.arange(num_probes, dtype=np.int64)
+        representative[hit_mask] = first_index[inverse[hit_mask]]
+        return HitmapSimulation(
+            states=states, representative=representative,
+            hits=int(hit_mask.sum()), mau=int(mau_mask.sum()),
+            mnu=int(mnu_mask.sum()),
+            unique_signatures=len(unique_values))
+
+    # ------------------------------------------------------------------
+    # Data phase — batched VD-bit bookkeeping
+    # ------------------------------------------------------------------
+    def _locate(self, entry_ids) -> tuple[np.ndarray, np.ndarray]:
+        ids = np.atleast_1d(np.asarray(entry_ids, dtype=np.int64))
+        if len(ids) and ((ids < 0).any() or (ids >= self._next_entry_id).any()):
+            bad = ids[(ids < 0) | (ids >= self._next_entry_id)][0]
+            raise KeyError(f"unknown MCACHE entry id {int(bad)}")
+        return self._entry_set[ids], self._entry_way[ids]
+
+    def _check_version(self, version: int) -> None:
+        if not 0 <= version < self.versions:
+            raise IndexError(f"version {version} out of range")
+
+    def write_data_batch(self, entry_ids, values, version: int = 0) -> None:
+        """Store one computed result per entry id and set its VD bit."""
+        self._check_version(version)
+        sets, ways = self._locate(entry_ids)
+        self._data[sets, ways, version] = values
+        self._valid_data[sets, ways, version] = True
+        self.stats.data_writes += len(sets)
+
+    def read_data_batch(self, entry_ids, version: int = 0) -> np.ndarray:
+        """Fetch previously stored results; raises if any VD bit is unset."""
+        self._check_version(version)
+        sets, ways = self._locate(entry_ids)
+        valid = self._valid_data[sets, ways, version]
+        if not valid.all():
+            bad = np.atleast_1d(np.asarray(entry_ids))[~valid][0]
+            raise LookupError(
+                f"entry {int(bad)} version {version} has no valid data")
+        self.stats.data_reads += len(sets)
+        return self._data[sets, ways, version]
+
+    def has_data_batch(self, entry_ids, version: int = 0) -> np.ndarray:
+        self._check_version(version)
+        sets, ways = self._locate(entry_ids)
+        return self._valid_data[sets, ways, version]
+
+    def write_data(self, entry_id: int, value, version: int = 0) -> None:
+        self._check_version(version)
+        sets, ways = self._locate([entry_id])
+        self._data[sets[0], ways[0], version] = value
+        self._valid_data[sets[0], ways[0], version] = True
+        self.stats.data_writes += 1
+
+    def read_data(self, entry_id: int, version: int = 0):
+        return self.read_data_batch([entry_id], version=version)[0]
+
+    def has_data(self, entry_id: int, version: int = 0) -> bool:
+        return bool(self.has_data_batch([entry_id], version=version)[0])
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_data(self, version: int | None = None) -> None:
+        """Flash-clear VD bits (tags stay valid) — synchronous design."""
+        if version is None:
+            self._valid_data[:] = False
+            self._data[:] = None
+        else:
+            self._check_version(version)
+            self._valid_data[:, :, version] = False
+            self._data[:, :, version] = None
+
+    def clear(self) -> None:
+        """Full reset (new channel / new set of input vectors)."""
+        self._valid_tag[:] = False
+        self._line_entry[:] = -1
+        self._occupancy[:] = 0
+        self._valid_data[:] = False
+        self._data[:] = None
+        self._entry_set = np.empty(0, dtype=np.int64)
+        self._entry_way = np.empty(0, dtype=np.int64)
+        self._next_entry_id = 0
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of lines with a valid tag."""
+        return int(self._valid_tag.sum())
+
+    def utilization(self) -> float:
+        return self.occupancy() / self.entries
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"VectorizedMCache(entries={self.entries}, ways={self.ways}, "
+                f"versions={self.versions}, occupancy={self.occupancy()})")

@@ -24,8 +24,10 @@ import numpy as np
 
 from repro.core.adaptation import SignatureLengthScheduler, SimilarityStoppage
 from repro.core.config import MercuryConfig
+from repro.core.differential import scalar_reference_simulation
 from repro.core.hitmap import Hitmap, HitState
 from repro.core.hitmap_sim import HitmapSimulation, simulate_hitmap
+from repro.core.mcache_vec import VectorizedMCache
 from repro.core.rpq import RPQHasher
 from repro.core.signature import SignatureTable
 from repro.core.stats import ReuseStats
@@ -78,6 +80,13 @@ class ReuseEngine:
             stoppage_batches=self.config.stoppage_batches,
             pipelined_signatures=self.config.pipelined_signatures)
         self.iterations = 0
+        # The batch MCACHE behind the "vectorized" backend.  One
+        # persistent instance so its access counters characterise the
+        # whole run (Figure 15a); the signature phase clears it per
+        # layer, matching the hardware's per-channel flush.
+        self.mcache = VectorizedMCache(entries=self.config.mcache_entries,
+                                       ways=self.config.mcache_ways,
+                                       versions=self.config.mcache_versions)
         # Last Hitmap simulation per (layer, phase), exposed for tests
         # and for the accelerator simulator (call ``.to_hitmap()`` for a
         # full Hitmap object).
@@ -114,7 +123,21 @@ class ReuseEngine:
         return signatures, False
 
     def _build_hitmap(self, signatures: np.ndarray) -> HitmapSimulation:
-        """Simulate the MCACHE signature phase for every vector (Figure 9)."""
+        """Simulate the MCACHE signature phase for every vector (Figure 9).
+
+        The three backends are bit-identical (the differential suite
+        asserts it); they differ only in speed and in what they model:
+        ``vectorized`` probes the persistent batch MCACHE, ``groupby``
+        runs the stateless numpy simulation and ``scalar`` replays the
+        line-level oracle one probe at a time.
+        """
+        backend = self.config.mcache_backend
+        if backend == "vectorized":
+            return self.mcache.simulate(signatures)
+        if backend == "scalar":
+            return scalar_reference_simulation(
+                signatures, num_sets=self.config.mcache_sets,
+                ways=self.config.mcache_ways)
         return simulate_hitmap(signatures,
                                num_sets=self.config.mcache_sets,
                                ways=self.config.mcache_ways)
@@ -207,4 +230,5 @@ class ReuseEngine:
     def reset_statistics(self) -> None:
         self.stats = ReuseStats()
         self.batch_stats = ReuseStats()
+        self.mcache.stats = type(self.mcache.stats)()
         self.last_simulations.clear()

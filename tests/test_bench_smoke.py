@@ -1,0 +1,88 @@
+"""Smoke test for the scenario sweep runner.
+
+Runs a 2-point grid end to end (both in-process and through the
+multiprocessing pool), asserts the result schema, non-negative timings
+and JSON round-tripping.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import (
+    RESULT_KEYS,
+    SweepPoint,
+    SweepResults,
+    build_grid,
+    evaluate_point,
+    measure_hit_scale,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def two_point_results():
+    points = build_grid(["vgg13"], dataflows=["row_stationary"],
+                        organizations=[(512, 8), (1024, 16)])
+    assert len(points) == 2
+    return points, run_sweep(points, processes=0)
+
+
+def test_sweep_result_schema(two_point_results):
+    points, results = two_point_results
+    assert len(results) == len(points)
+    for row in results.rows:
+        assert RESULT_KEYS <= set(row)
+        assert row["elapsed_s"] >= 0.0
+        assert row["speedup"] > 0.0
+        assert row["baseline_cycles"] >= 0.0
+        assert row["mercury_cycles"] >= 0.0
+        assert 0.0 <= row["signature_fraction"] <= 1.0
+        assert row["hit_scale"] >= 0.0
+        # The row records what was applied: the raw measurement, clamped.
+        assert row["hit_scale"] == min(row["hit_scale_raw"], 1.2)
+    assert results.elapsed_s >= 0.0
+    # Rows come back in grid order.
+    assert [row["mcache_entries"] for row in results.rows] == [512, 1024]
+
+
+def test_sweep_json_round_trip(two_point_results, tmp_path):
+    _, results = two_point_results
+    path = tmp_path / "sweep.json"
+    results.save(path)
+    payload = json.loads(path.read_text())
+    assert len(payload["rows"]) == len(results)
+    reloaded = SweepResults.load(path)
+    assert reloaded.rows == results.rows
+
+
+def test_sweep_summary(two_point_results):
+    _, results = two_point_results
+    summary = results.summary()
+    assert summary["points"] == 2
+    assert "row_stationary" in summary["geomean_by_dataflow"]
+    best = summary["best_per_model"]["vgg13"]
+    # The larger cache catches more reuse, so it should win the sweep.
+    assert best["mcache_entries"] == 1024
+    assert results.geomean_speedup(mcache_entries=1024) >= \
+        results.geomean_speedup(mcache_entries=512)
+    with pytest.raises(ValueError):
+        results.geomean_speedup(model="does-not-exist")
+
+
+def test_sweep_multiprocessing_matches_serial(two_point_results):
+    points, serial = two_point_results
+    parallel = run_sweep(points, processes=2)
+    for serial_row, parallel_row in zip(serial.rows, parallel.rows):
+        for key in RESULT_KEYS - {"elapsed_s"}:
+            assert serial_row[key] == parallel_row[key]
+
+
+def test_hit_scale_reference_is_one():
+    assert measure_hit_scale(1024, 16) == pytest.approx(1.0)
+    assert 0.0 < measure_hit_scale(512, 8) <= 1.0
+
+
+def test_evaluate_point_rejects_unknown_model():
+    with pytest.raises(ValueError):
+        evaluate_point(SweepPoint(model="not-a-model"))

@@ -120,6 +120,43 @@ def test_pack_bits_round_trip_property(n_bits, n_vectors):
         assert int(packed[row]) == expected
 
 
+@settings(deadline=None, max_examples=15)
+@given(n_bits=st.integers(63, 96), n_vectors=st.integers(1, 8))
+def test_pack_bits_round_trip_wide_property(n_bits, n_vectors):
+    """Signatures beyond 62 bits pack into exact Python integers."""
+    rng = np.random.default_rng(n_bits * 1000 + n_vectors)
+    bits = rng.integers(0, 2, size=(n_vectors, n_bits))
+    packed = pack_bits(bits)
+    assert packed.dtype == object
+    for row in range(n_vectors):
+        value = int(packed[row])
+        assert value.bit_length() <= n_bits
+        unpacked = [(value >> (n_bits - 1 - i)) & 1 for i in range(n_bits)]
+        assert unpacked == list(bits[row])
+
+
+@settings(deadline=None, max_examples=15)
+@given(image_size=st.integers(4, 9), kernel_size=st.integers(1, 3),
+       stride=st.integers(1, 2), n_bits=st.integers(1, 16),
+       seed=st.integers(0, 1000))
+def test_signature_via_convolution_property(image_size, kernel_size, stride,
+                                            n_bits, seed):
+    """§III-B1: convolution-formulated signatures equal the matrix product
+    (im2col rows hashed directly) for any geometry."""
+    from repro.nn.im2col import im2col
+
+    rng = np.random.default_rng(seed)
+    image = rng.normal(size=(image_size, image_size))
+    hasher = RPQHasher(seed=seed)
+    projection = hasher.projection_matrix(kernel_size * kernel_size, n_bits)
+
+    conv_sigs = signature_via_convolution(image, kernel_size, projection,
+                                          stride=stride)
+    cols = im2col(image[None, None], kernel_size, kernel_size, stride=stride)
+    direct_sigs = hasher.signatures(cols, n_bits)
+    assert list(conv_sigs) == list(direct_sigs)
+
+
 @settings(deadline=None, max_examples=20)
 @given(dim=st.integers(2, 16), bits=st.integers(1, 32))
 def test_signatures_are_deterministic_property(dim, bits):
