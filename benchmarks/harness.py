@@ -142,6 +142,24 @@ def scenario_sweep(models=None, dataflows=("row_stationary",),
     return run_sweep(points, processes=processes)
 
 
+def functional_sweep(models=("squeezenet", "transformer"),
+                     dataset_scales=("tiny",), adaptations=("full",),
+                     signature_bits=(20,), processes: int | None = None,
+                     **training):
+    """Training-accuracy sweep companion to :func:`scenario_sweep`.
+
+    Every point trains a baseline/reuse pair end-to-end with shared
+    seeds; returns a
+    :class:`repro.analysis.functional_sweep.FunctionalSweepResults`.
+    """
+    from repro.analysis.functional_sweep import (build_functional_grid,
+                                                 run_functional_sweep)
+    points = build_functional_grid(models, dataset_scales=dataset_scales,
+                                   adaptations=adaptations,
+                                   signature_bits=signature_bits, **training)
+    return run_functional_sweep(points, processes=processes)
+
+
 def print_header(title: str) -> None:
     print()
     print("=" * 78)

@@ -1,0 +1,104 @@
+"""Run a functional (training-accuracy) sweep over real training runs.
+
+Every grid point trains its model twice with identical seeds and data
+order — once exactly, once through the MERCURY reuse engine — and the
+rows record the accuracy delta, loss trajectories, reuse statistics and
+the modeled speedup.  The grid fans out over a multiprocessing pool and
+all rows are written to a JSON file in the same schema family as
+``examples/sweep_all.py``.
+
+    python examples/functional_sweep.py
+    python examples/functional_sweep.py --models squeezenet transformer \
+        --signature-bits 12 20 --adaptations full off \
+        --scale tiny --epochs 2 --processes 4 --output functional.json
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.analysis.functional_sweep import (
+    ADAPTATION_POLICIES,
+    DATASET_SCALES,
+    build_functional_grid,
+    run_functional_sweep,
+)
+from repro.models import MODEL_NAMES
+
+# Small models (and the transformer) train in well under a second per
+# point at the "tiny" scale, so they are the defaults; any model zoo
+# entry can be swept at the "small"/"paper" scales.
+DEFAULT_MODELS = ("squeezenet", "transformer")
+
+
+def parse_organization(text: str) -> tuple[int, int]:
+    """Parse an ``ENTRIESxWAYS`` spec such as ``1024x16``."""
+    try:
+        entries, ways = (int(part) for part in text.lower().split("x"))
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"expected ENTRIESxWAYS (e.g. 1024x16), got {text!r}") from error
+    if entries <= 0 or ways <= 0 or entries % ways != 0:
+        raise argparse.ArgumentTypeError(
+            f"entries must be a positive multiple of ways, got {text!r}")
+    return entries, ways
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", nargs="+", default=list(DEFAULT_MODELS),
+                        choices=list(MODEL_NAMES), metavar="MODEL")
+    parser.add_argument("--scale", dest="scales", nargs="+", default=["tiny"],
+                        choices=sorted(DATASET_SCALES), metavar="SCALE")
+    parser.add_argument("--adaptations", nargs="+", default=["full"],
+                        choices=sorted(ADAPTATION_POLICIES),
+                        metavar="POLICY")
+    parser.add_argument("--signature-bits", nargs="+", type=int,
+                        default=[12, 20])
+    parser.add_argument("--organizations", nargs="+",
+                        type=parse_organization, default=[(1024, 16)],
+                        metavar="ENTRIESxWAYS")
+    parser.add_argument("--seeds", nargs="+", type=int, default=[0])
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--processes", type=int, default=None,
+                        help="pool size (0 = run in-process)")
+    parser.add_argument("--output", default="functional_results.json")
+    args = parser.parse_args(argv)
+
+    points = build_functional_grid(args.models, dataset_scales=args.scales,
+                                   adaptations=args.adaptations,
+                                   signature_bits=args.signature_bits,
+                                   organizations=args.organizations,
+                                   seeds=args.seeds, epochs=args.epochs,
+                                   batch_size=args.batch_size)
+    print(f"Training {len(points)} functional scenarios "
+          f"({len(args.models)} models x {len(args.scales)} scales x "
+          f"{len(args.adaptations)} policies x "
+          f"{len(args.signature_bits)} signature lengths x "
+          f"{len(args.organizations)} MCACHE organisations x "
+          f"{len(args.seeds)} seeds; two runs each)...")
+    results = run_functional_sweep(points, processes=args.processes)
+
+    rows = [[row["model"], row["adaptation"], row["signature_bits"],
+             row["baseline_accuracy"], row["reuse_accuracy"],
+             row["accuracy_delta"], row["hit_fraction"], row["speedup"]]
+            for row in results.rows]
+    print(format_table(["model", "policy", "bits", "base acc", "reuse acc",
+                        "delta", "hit frac", "speedup"], rows, "{:.3f}"))
+
+    summary = results.summary()
+    print(f"\n{summary['points']} points in {summary['elapsed_s']:.2f}s")
+    print(f"Geomean modeled speedup: {summary['geomean_speedup']:.2f}x")
+    print(f"Mean accuracy delta: {summary['mean_accuracy_delta']:+.4f} "
+          f"(worst {summary['worst_accuracy_delta']:+.4f})")
+    for model, delta in summary["accuracy_delta_by_model"].items():
+        print(f"  {model:>14}: {delta:+.4f}")
+
+    results.save(args.output)
+    print(f"\nWrote {len(results)} rows to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ from repro.analysis.similarity import (
     rpq_unique_vector_experiment,
 )
 from repro.analysis.reporting import format_table, geomean
+from repro.analysis.grid import GridResults, expand_grid, run_grid
 from repro.analysis.sweep import (
     SweepPoint,
     SweepResults,
@@ -15,8 +16,23 @@ from repro.analysis.sweep import (
     measure_hit_scale,
     run_sweep,
 )
+from repro.analysis.functional_sweep import (
+    FunctionalPoint,
+    FunctionalSweepResults,
+    build_functional_grid,
+    evaluate_functional_point,
+    run_functional_sweep,
+)
 
 __all__ = [
+    "GridResults",
+    "expand_grid",
+    "run_grid",
+    "FunctionalPoint",
+    "FunctionalSweepResults",
+    "build_functional_grid",
+    "evaluate_functional_point",
+    "run_functional_sweep",
     "LayerSimilarity",
     "measure_layer_similarity",
     "measure_unique_vectors",

@@ -1,0 +1,122 @@
+"""Shared grid-execution machinery for the sweep runners.
+
+Both sweep families — the analytic cycle-model sweep
+(:mod:`repro.analysis.sweep`) and the functional training-accuracy
+sweep (:mod:`repro.analysis.functional_sweep`) — are shaped the same
+way: expand a cross product of scenario axes into frozen point records,
+evaluate every point independently (optionally over a
+``multiprocessing`` pool) and aggregate the JSON-safe result rows into
+a persistable results object.  This module holds that common shape:
+
+* :func:`expand_grid` — deterministic cross-product expansion;
+* :func:`run_grid` — the fan-out executor with an in-process fallback;
+* :class:`GridResults` — the base results container with the shared
+  JSON envelope (``{"schema": ..., "elapsed_s": ..., "rows": [...]}``),
+  filtering and geometric-mean helpers.
+
+Subclasses set two class attributes: ``schema`` (the marker written
+into and checked against the JSON envelope, so a cycle-sweep file is
+not silently loaded as a functional sweep) and ``result_keys`` (the
+minimum key set every row must carry — the contract the smoke tests
+assert).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Iterable, Mapping
+
+import numpy as np
+
+
+def expand_grid(axes: Mapping[str, Iterable]) -> list[dict]:
+    """Cross product of the given axes, in deterministic order.
+
+    The first axis varies slowest (outermost loop), matching the row
+    order both sweep runners have always produced.  Axis values are
+    materialised once, so generators are accepted.
+    """
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+    return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+
+
+def run_grid(points, evaluate: Callable[[object], dict],
+             processes: int | None = None) -> tuple[list[dict], float]:
+    """Evaluate every point; returns ``(rows, elapsed_seconds)``.
+
+    ``processes=0`` (or a single-point grid) evaluates in-process;
+    otherwise a ``multiprocessing`` pool of ``processes`` workers
+    (default: all cores, capped at the number of points) maps over the
+    grid.  ``evaluate`` must be a picklable module-level callable and
+    rows come back in grid order either way.
+    """
+    points = list(points)
+    start = time.perf_counter()
+    if processes == 0 or len(points) <= 1:
+        rows = [evaluate(point) for point in points]
+    else:
+        workers = min(processes or multiprocessing.cpu_count(),
+                      max(len(points), 1))
+        with multiprocessing.Pool(processes=workers) as pool:
+            rows = pool.map(evaluate, points)
+    return rows, time.perf_counter() - start
+
+
+@dataclass
+class GridResults:
+    """Aggregated sweep rows with JSON persistence and row queries."""
+
+    rows: list[dict] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    # Overridden by subclasses; ``load`` enforces the schema marker.
+    schema: ClassVar[str] = "grid"
+    result_keys: ClassVar[frozenset] = frozenset()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- persistence ----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({"schema": self.schema,
+                           "elapsed_s": self.elapsed_s,
+                           "rows": self.rows},
+                          indent=2, sort_keys=True)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "GridResults":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        # Files written before the schema marker existed load as-is;
+        # a *different* marker means the wrong results class was used.
+        found = payload.get("schema", cls.schema)
+        if found != cls.schema:
+            raise ValueError(
+                f"{path} holds {found!r} results, not {cls.schema!r}")
+        return cls(rows=payload["rows"], elapsed_s=payload["elapsed_s"])
+
+    # -- row queries ----------------------------------------------------
+    def matching_rows(self, **filters) -> list[dict]:
+        """Rows whose values equal every ``filters`` entry."""
+        return [row for row in self.rows
+                if all(row[key] == value for key, value in filters.items())]
+
+    def geomean(self, column: str, **filters) -> float:
+        """Geometric mean of ``column`` over rows matching ``filters``."""
+        values = [row[column] for row in self.matching_rows(**filters)]
+        if not values:
+            raise ValueError(f"no rows match {filters!r}")
+        return float(np.exp(np.mean(np.log(values))))
+
+    def missing_keys(self) -> list[set]:
+        """Per-row schema violations (empty sets when rows conform)."""
+        return [self.result_keys - set(row) for row in self.rows]

@@ -25,17 +25,17 @@ Typical use (see also ``examples/sweep_all.py``)::
 
 from __future__ import annotations
 
-import json
-import multiprocessing
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from functools import lru_cache
+from typing import ClassVar
 
 import numpy as np
 
 from repro.accelerator.dataflow import make_dataflow
 from repro.accelerator.mercury_sim import MercurySimulator
 from repro.accelerator.workloads import build_workload, workload_to_stats
+from repro.analysis.grid import GridResults, expand_grid, run_grid
 from repro.core.config import MercuryConfig
 from repro.core.mcache_vec import VectorizedMCache
 
@@ -67,16 +67,14 @@ def build_grid(models, dataflows=("row_stationary",),
                organizations=(REFERENCE_ORGANIZATION,),
                signature_bits=(20,)) -> list[SweepPoint]:
     """Cross product of the four scenario axes, in deterministic order."""
-    points = []
-    for model in models:
-        for dataflow in dataflows:
-            for entries, ways in organizations:
-                for bits in signature_bits:
-                    points.append(SweepPoint(model=model, dataflow=dataflow,
-                                             mcache_entries=entries,
-                                             mcache_ways=ways,
-                                             signature_bits=bits))
-    return points
+    combos = expand_grid({"model": models, "dataflow": dataflows,
+                          "organization": organizations,
+                          "signature_bits": signature_bits})
+    return [SweepPoint(model=combo["model"], dataflow=combo["dataflow"],
+                       mcache_entries=combo["organization"][0],
+                       mcache_ways=combo["organization"][1],
+                       signature_bits=combo["signature_bits"])
+            for combo in combos]
 
 
 @lru_cache(maxsize=None)
@@ -144,38 +142,16 @@ def evaluate_point(point: SweepPoint) -> dict:
 
 
 @dataclass
-class SweepResults:
-    """Aggregated sweep rows with JSON persistence and summaries."""
+class SweepResults(GridResults):
+    """Aggregated cycle-model rows with JSON persistence and summaries."""
 
-    rows: list[dict] = field(default_factory=list)
-    elapsed_s: float = 0.0
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    # -- persistence ----------------------------------------------------
-    def to_json(self) -> str:
-        return json.dumps({"elapsed_s": self.elapsed_s, "rows": self.rows},
-                          indent=2, sort_keys=True)
-
-    def save(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-
-    @classmethod
-    def load(cls, path) -> "SweepResults":
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-        return cls(rows=payload["rows"], elapsed_s=payload["elapsed_s"])
+    schema: ClassVar[str] = "cycle-sweep"
+    result_keys: ClassVar[frozenset] = RESULT_KEYS
 
     # -- summaries ------------------------------------------------------
     def geomean_speedup(self, **filters) -> float:
         """Geometric-mean speedup over rows matching ``filters``."""
-        values = [row["speedup"] for row in self.rows
-                  if all(row[key] == value for key, value in filters.items())]
-        if not values:
-            raise ValueError(f"no rows match {filters!r}")
-        return float(np.exp(np.mean(np.log(values))))
+        return self.geomean("speedup", **filters)
 
     def best_per_model(self) -> dict[str, dict]:
         """Highest-speedup row for each model."""
@@ -210,13 +186,5 @@ def run_sweep(points, processes: int | None = None) -> SweepResults:
     (default: all cores, capped at the number of points) maps over the
     grid.
     """
-    points = list(points)
-    start = time.perf_counter()
-    if processes == 0 or len(points) <= 1:
-        rows = [evaluate_point(point) for point in points]
-    else:
-        workers = min(processes or multiprocessing.cpu_count(),
-                      max(len(points), 1))
-        with multiprocessing.Pool(processes=workers) as pool:
-            rows = pool.map(evaluate_point, points)
-    return SweepResults(rows=rows, elapsed_s=time.perf_counter() - start)
+    rows, elapsed = run_grid(points, evaluate_point, processes=processes)
+    return SweepResults(rows=rows, elapsed_s=elapsed)

@@ -48,16 +48,45 @@ class TrainingConfig:
 
 @dataclass
 class TrainingResult:
-    """Loss/accuracy history of one training run."""
+    """Loss/accuracy history of one training run.
+
+    ``iteration_losses`` holds the per-step loss trajectory (what the
+    adaptation policies observe); ``epoch_losses`` its per-epoch means.
+    The record round-trips through plain dicts so sweep rows and golden
+    regression files can embed it verbatim.
+    """
 
     epoch_losses: list = field(default_factory=list)
     epoch_train_accuracy: list = field(default_factory=list)
+    iteration_losses: list = field(default_factory=list)
     iterations: int = 0
     final_validation_accuracy: float | None = None
 
     @property
     def final_loss(self) -> float:
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    def to_dict(self) -> dict:
+        """JSON-safe view of the full history."""
+        return {
+            "epoch_losses": [float(v) for v in self.epoch_losses],
+            "epoch_train_accuracy": [float(v)
+                                     for v in self.epoch_train_accuracy],
+            "iteration_losses": [float(v) for v in self.iteration_losses],
+            "iterations": int(self.iterations),
+            "final_validation_accuracy":
+                None if self.final_validation_accuracy is None
+                else float(self.final_validation_accuracy),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingResult":
+        return cls(epoch_losses=list(payload["epoch_losses"]),
+                   epoch_train_accuracy=list(payload["epoch_train_accuracy"]),
+                   iteration_losses=list(payload.get("iteration_losses", [])),
+                   iterations=payload["iterations"],
+                   final_validation_accuracy=payload[
+                       "final_validation_accuracy"])
 
 
 class Trainer:
@@ -105,6 +134,7 @@ class Trainer:
             for batch_inputs, batch_targets in loader:
                 losses.append(self.train_step(batch_inputs, batch_targets))
                 result.iterations += 1
+            result.iteration_losses.extend(float(v) for v in losses)
             result.epoch_losses.append(float(np.mean(losses)))
             result.epoch_train_accuracy.append(
                 self.evaluate(inputs, targets))
@@ -114,17 +144,34 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def evaluate(self, inputs: np.ndarray, targets: np.ndarray,
-                 batch_size: int | None = None) -> float:
-        """Top-1 accuracy of the current model on a labelled set."""
+                 batch_size: int | None = None, *,
+                 use_engine: bool = False) -> float:
+        """Top-1 accuracy of the current model on a labelled set.
+
+        Evaluation is a measurement, not part of the training workload:
+        the trainer-owned engine is detached for its duration (and
+        reattached afterwards), so accuracy is computed exactly — the
+        paper's Figure 13 methodology — and the engine's reuse
+        statistics and §III-D adaptation state see only real training
+        batches.  Pass ``use_engine=True`` to measure accuracy as the
+        accelerator would deliver it, with reuse approximation on.
+        """
+        detach = not use_engine and self.engine is not None
+        if detach:
+            self.model.set_engine(None)
         self.model.eval()
-        batch = batch_size or self.config.batch_size
-        correct_weighted = 0.0
-        count = 0
-        for start in range(0, len(inputs), batch):
-            chunk_inputs = inputs[start:start + batch]
-            chunk_targets = targets[start:start + batch]
-            logits = self.model(chunk_inputs)
-            correct_weighted += top1_accuracy(logits, chunk_targets) * len(chunk_inputs)
-            count += len(chunk_inputs)
-        self.model.train()
+        try:
+            batch = batch_size or self.config.batch_size
+            correct_weighted = 0.0
+            count = 0
+            for start in range(0, len(inputs), batch):
+                chunk_inputs = inputs[start:start + batch]
+                chunk_targets = targets[start:start + batch]
+                logits = self.model(chunk_inputs)
+                correct_weighted += top1_accuracy(logits, chunk_targets) * len(chunk_inputs)
+                count += len(chunk_inputs)
+        finally:
+            self.model.train()
+            if detach:
+                self.model.set_engine(self.engine)
         return correct_weighted / max(count, 1)

@@ -1,0 +1,192 @@
+"""Property tests (hypothesis) for the §III-D adaptation policies.
+
+The two mechanisms carry the paper's "no accuracy loss" argument, so
+they get invariants rather than examples:
+
+* :class:`SignatureLengthScheduler` never leaves its configured bit
+  range, only ever grows, grows exactly when the plateau trigger fires
+  (events at least ``K`` observations apart), and is monotone in the
+  trigger: a more sensitive scheduler (smaller ``K``, or larger
+  tolerance) is never behind a less sensitive one on the same trace.
+
+* :class:`SimilarityStoppage` only ever disables layers — once a
+  (layer, phase) is off it stays off, the disabled set grows
+  monotonically, and disabling requires ``T`` consecutive costly
+  batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core.adaptation import SignatureLengthScheduler, SimilarityStoppage
+from repro.core.stats import LayerReuseStats
+
+# Loss traces drawn from a small value pool produce realistic plateaus;
+# the extra floats add arbitrary jitter.
+losses = st.lists(
+    st.one_of(st.sampled_from([0.5, 0.5 + 5e-4, 0.5 + 2e-3, 0.75, 1.0]),
+              st.floats(min_value=0.0, max_value=10.0, allow_nan=False)),
+    min_size=1, max_size=60)
+
+scheduler_params = st.fixed_dictionaries({
+    "initial_bits": st.integers(min_value=1, max_value=24),
+    "extra_bits": st.integers(min_value=0, max_value=12),
+    "plateau_iterations": st.integers(min_value=1, max_value=8),
+    "tolerance": st.sampled_from([1e-4, 1e-3, 1e-2]),
+})
+
+
+def make_scheduler(params) -> SignatureLengthScheduler:
+    return SignatureLengthScheduler(
+        initial_bits=params["initial_bits"],
+        max_bits=params["initial_bits"] + params["extra_bits"],
+        plateau_iterations=params["plateau_iterations"],
+        tolerance=params["tolerance"])
+
+
+@given(losses=losses, params=scheduler_params)
+def test_scheduler_stays_in_range_and_grows_monotonically(losses, params):
+    scheduler = make_scheduler(params)
+    low, high = params["initial_bits"], scheduler.max_bits
+    previous = scheduler.bits
+    for loss in losses:
+        bits = scheduler.observe_loss(loss)
+        assert low <= bits <= high
+        assert bits >= previous
+        previous = bits
+
+
+@given(losses=losses, params=scheduler_params)
+def test_scheduler_growth_events_spaced_by_trigger(losses, params):
+    """A growth needs K consecutive flat iterations, so events are >= K
+    apart and the first cannot fire before iteration K+1 (the first
+    observation has no predecessor to compare against)."""
+    scheduler = make_scheduler(params)
+    for loss in losses:
+        scheduler.observe_loss(loss)
+    events = scheduler.growth_events
+    k = params["plateau_iterations"]
+    if events:
+        assert events[0] >= k + 1
+    assert all(later - earlier >= k
+               for earlier, later in zip(events, events[1:]))
+    assert len(events) == scheduler.bits - params["initial_bits"]
+
+
+@given(losses=losses, params=scheduler_params,
+       tighter=st.integers(min_value=1, max_value=8))
+def test_scheduler_monotone_in_plateau_trigger(losses, params, tighter):
+    """A smaller K (more eager trigger) never trails a larger K."""
+    eager_params = dict(params,
+                        plateau_iterations=min(params["plateau_iterations"],
+                                               tighter))
+    lazy = make_scheduler(params)
+    eager = make_scheduler(eager_params)
+    for loss in losses:
+        assert eager.observe_loss(loss) >= lazy.observe_loss(loss)
+
+
+@given(losses=losses, params=scheduler_params)
+def test_scheduler_monotone_in_tolerance(losses, params):
+    """A larger tolerance flags at least as many plateaus."""
+    loose = make_scheduler(dict(params, tolerance=1e-2))
+    tight = make_scheduler(dict(params, tolerance=1e-4))
+    for loss in losses:
+        assert loose.observe_loss(loss) >= tight.observe_loss(loss)
+
+
+# ----------------------------------------------------------------------
+# SimilarityStoppage
+# ----------------------------------------------------------------------
+def make_batch(layer: str, phase: str, *, hits: int, total: int,
+               vector_length: int, num_filters: int,
+               signature_bits: int) -> LayerReuseStats:
+    record = LayerReuseStats(layer=layer, phase=phase)
+    record.merge_call(vectors=total, hits=hits, mau=0, mnu=total - hits,
+                      vector_length=vector_length, num_filters=num_filters,
+                      signature_bits=signature_bits,
+                      unique_signatures=total - hits, detection_on=True)
+    return record
+
+
+batches = st.lists(
+    st.fixed_dictionaries({
+        "layer": st.sampled_from(["conv1", "conv2", "fc"]),
+        "phase": st.sampled_from(["forward", "backward"]),
+        "total": st.integers(min_value=1, max_value=64),
+        "hit_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "vector_length": st.integers(min_value=1, max_value=32),
+        "num_filters": st.integers(min_value=1, max_value=32),
+        "signature_bits": st.integers(min_value=1, max_value=40),
+    }),
+    min_size=1, max_size=80)
+
+
+@given(batches=batches, stoppage_batches=st.integers(min_value=1, max_value=5))
+def test_stoppage_only_ever_disables(batches, stoppage_batches):
+    stoppage = SimilarityStoppage(stoppage_batches=stoppage_batches)
+    disabled_so_far: set[str] = set()
+    costly_streak: dict[str, int] = {}
+    for spec in batches:
+        key = stoppage.key_for(spec["layer"], spec["phase"])
+        record = make_batch(spec["layer"], spec["phase"],
+                            hits=int(spec["hit_fraction"] * spec["total"]),
+                            total=spec["total"],
+                            vector_length=spec["vector_length"],
+                            num_filters=spec["num_filters"],
+                            signature_bits=spec["signature_bits"])
+        was_disabled = key in disabled_so_far
+        enabled = stoppage.observe_batch(record)
+
+        if was_disabled:
+            # Once off, stays off — no re-enabling in any order.
+            assert not enabled
+            assert not stoppage.is_enabled_for(spec["layer"], spec["phase"])
+            continue
+
+        cost = stoppage.signature_cost_cycles(
+            num_vectors=record.total_vectors,
+            vector_length=record.vector_length,
+            signature_bits=record.signature_bits)
+        saved = stoppage.saved_cycles(hits=record.hits,
+                                      vector_length=record.vector_length,
+                                      num_filters=record.num_filters)
+        streak = costly_streak.get(key, 0) + 1 if cost > saved else 0
+        costly_streak[key] = streak
+
+        # Disabling happens exactly after T consecutive costly batches.
+        assert enabled == (streak < stoppage_batches)
+        if not enabled:
+            disabled_so_far.add(key)
+
+        # The disabled set never shrinks.
+        assert disabled_so_far <= set(stoppage.disabled_layers())
+        assert set(stoppage.disabled_layers()) <= disabled_so_far | {key}
+
+
+@given(batches=batches)
+def test_stoppage_disabled_set_grows_monotonically(batches):
+    stoppage = SimilarityStoppage(stoppage_batches=1)
+    previous: set[str] = set()
+    for spec in batches:
+        record = make_batch(spec["layer"], spec["phase"],
+                            hits=int(spec["hit_fraction"] * spec["total"]),
+                            total=spec["total"],
+                            vector_length=spec["vector_length"],
+                            num_filters=spec["num_filters"],
+                            signature_bits=spec["signature_bits"])
+        stoppage.observe_batch(record)
+        current = set(stoppage.disabled_layers())
+        assert previous <= current
+        previous = current
+
+
+def test_force_disable_and_reset():
+    stoppage = SimilarityStoppage()
+    stoppage.force_disable("conv1", "forward")
+    assert not stoppage.is_enabled_for("conv1", "forward")
+    assert stoppage.is_enabled_for("conv1", "backward")
+    stoppage.reset()
+    assert stoppage.is_enabled_for("conv1", "forward")

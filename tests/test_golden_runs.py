@@ -1,0 +1,128 @@
+"""Golden-run regression tests.
+
+Two tiny fixed-seed training runs — one CNN, one transformer — are
+pinned against reference histories committed in ``tests/golden/``.  Any
+change to the numerics of the training stack (weight init, batch
+order, layer forward/backward, optimizer updates) shows up here as a
+loss-curve mismatch instead of silently shifting every accuracy figure.
+
+The suite also asserts the two invariants the functional sweep relies
+on: an :class:`ExactCountingEngine` run is bit-identical to engine-less
+training, and the reuse engine's accuracy stays within the tolerance
+this reproduction uses at miniature scale (0.3 absolute, the slack
+established in ``test_integration.py`` for the paper's Figure 13
+claim).
+
+Regenerate the golden files after an *intentional* numeric change::
+
+    GOLDEN_REGENERATE=1 PYTHONPATH=src python -m pytest tests/test_golden_runs.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.functional_sweep import FunctionalPoint, train_point
+from repro.core.reuse import ExactCountingEngine, ReuseEngine
+from repro.analysis.functional_sweep import mercury_config_for
+from repro.training import TrainingResult
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# The pinned runs.  Seeds are chosen so the baseline actually learns at
+# this scale; changing a point here requires regenerating its file.
+GOLDEN_POINTS = {
+    "cnn_squeezenet": FunctionalPoint(model="squeezenet",
+                                      dataset_scale="small", epochs=4,
+                                      seed=7),
+    "transformer": FunctionalPoint(model="transformer",
+                                   dataset_scale="tiny", epochs=3, seed=0),
+}
+
+# Baseline-vs-reuse accuracy slack at miniature scale (Figure 13 is
+# within ~1% at paper scale; tiny validation sets are far noisier).
+ACCURACY_TOLERANCE = 0.3
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.fixture(scope="module")
+def golden_runs() -> dict[str, TrainingResult]:
+    """Engine-less reference runs, trained once per test session."""
+    return {name: train_point(point, None)[0]
+            for name, point in GOLDEN_POINTS.items()}
+
+
+def test_regenerate_golden_files(golden_runs):
+    """Writes the reference files when GOLDEN_REGENERATE is set."""
+    if not os.environ.get("GOLDEN_REGENERATE"):
+        pytest.skip("set GOLDEN_REGENERATE=1 to rewrite the golden files")
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, point in GOLDEN_POINTS.items():
+        payload = {"point": asdict(point),
+                   "result": golden_runs[name].to_dict()}
+        golden_path(name).write_text(json.dumps(payload, indent=2,
+                                                sort_keys=True))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_POINTS))
+def test_loss_curve_matches_golden(name, golden_runs):
+    payload = json.loads(golden_path(name).read_text())
+    # The committed file must describe the run we just executed;
+    # otherwise the curves are incomparable and need regenerating.
+    assert payload["point"] == asdict(GOLDEN_POINTS[name])
+    reference = TrainingResult.from_dict(payload["result"])
+    result = golden_runs[name]
+
+    assert result.iterations == reference.iterations
+    np.testing.assert_allclose(result.iteration_losses,
+                               reference.iteration_losses,
+                               rtol=1e-5, atol=1e-8)
+    np.testing.assert_allclose(result.epoch_losses, reference.epoch_losses,
+                               rtol=1e-5, atol=1e-8)
+    np.testing.assert_allclose(result.epoch_train_accuracy,
+                               reference.epoch_train_accuracy, atol=1e-6)
+    assert result.final_validation_accuracy == pytest.approx(
+        reference.final_validation_accuracy, abs=1e-6)
+    # The pinned runs are meant to show learning, not just determinism.
+    assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_POINTS))
+def test_exact_counting_engine_is_bit_identical(name, golden_runs):
+    """The baseline engine must not perturb training at all."""
+    point = GOLDEN_POINTS[name]
+    counted, counted_model = train_point(point, ExactCountingEngine())
+    reference = golden_runs[name]
+
+    assert counted.iteration_losses == reference.iteration_losses
+    assert counted.epoch_losses == reference.epoch_losses
+    assert counted.epoch_train_accuracy == reference.epoch_train_accuracy
+    assert counted.final_validation_accuracy == \
+        reference.final_validation_accuracy
+
+    _, bare_model = train_point(point, None)
+    for bare, with_engine in zip(bare_model.parameters(),
+                                 counted_model.parameters()):
+        assert np.array_equal(bare.value, with_engine.value)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_POINTS))
+def test_reuse_accuracy_within_tolerance(name, golden_runs):
+    """The Figure 13 claim at miniature scale, pinned per golden point."""
+    point = GOLDEN_POINTS[name]
+    reuse, _ = train_point(point, ReuseEngine(mercury_config_for(point)))
+    baseline = golden_runs[name]
+    delta = (reuse.final_validation_accuracy
+             - baseline.final_validation_accuracy)
+    assert abs(delta) <= ACCURACY_TOLERANCE
+    # Reuse training still converges.
+    assert reuse.epoch_losses[-1] < reuse.epoch_losses[0]
