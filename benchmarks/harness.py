@@ -145,11 +145,13 @@ def scenario_sweep(models=None, dataflows=("row_stationary",),
 def functional_sweep(models=("squeezenet", "transformer"),
                      dataset_scales=("tiny",), adaptations=("full",),
                      signature_bits=(20,), processes: int | None = None,
-                     **training):
+                     share_baselines: bool = True, **training):
     """Training-accuracy sweep companion to :func:`scenario_sweep`.
 
     Every point trains a baseline/reuse pair end-to-end with shared
-    seeds; returns a
+    seeds; the exact-baseline half is memoized per (model, scale,
+    training config, seed) group unless ``share_baselines=False``.
+    Returns a
     :class:`repro.analysis.functional_sweep.FunctionalSweepResults`.
     """
     from repro.analysis.functional_sweep import (build_functional_grid,
@@ -157,7 +159,20 @@ def functional_sweep(models=("squeezenet", "transformer"),
     points = build_functional_grid(models, dataset_scales=dataset_scales,
                                    adaptations=adaptations,
                                    signature_bits=signature_bits, **training)
-    return run_functional_sweep(points, processes=processes)
+    return run_functional_sweep(points, processes=processes,
+                                share_baselines=share_baselines)
+
+
+def perf_suite(quick: bool = True, repeats: int | None = None) -> dict:
+    """Hot-path segment timings (see :mod:`benchmarks.perf_suite`).
+
+    Returns the ``BENCH_perf.json`` artifact payload: before/after wall
+    clocks and speedups for im2col, RPQ projection growth, the
+    multi-word Hitmap path, a full train step, baseline memoization and
+    the reference functional sweep.
+    """
+    from benchmarks.perf_suite import run_suite
+    return run_suite(quick=quick, repeats=repeats)
 
 
 def print_header(title: str) -> None:

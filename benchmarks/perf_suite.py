@@ -1,0 +1,328 @@
+"""Segment-timing perf suite for the training hot path.
+
+Times every layer this repository's hot-path work touched — im2col
+extraction, RPQ projection growth, the >62-bit Hitmap path, a full
+training step and a functional-sweep reference config — against the
+seed implementations that are kept in-tree as oracles, and emits a
+``BENCH_perf.json`` trajectory artifact so future PRs have a committed
+perf baseline to regress against.
+
+"Before" numbers replay the three seed behaviours kept in-tree as
+oracles — the dominant costs this overhaul removed:
+
+* ``im2col_reference`` — the loop-filled extraction the strided rewrite
+  replaced (still the differential oracle for ``im2col``);
+* ``seed_pack_bits`` — the object-dtype per-row packing loop that
+  >62-bit signatures used before the multi-word representation (which
+  also routes the Hitmap through the sequential object-array fallback,
+  exactly as the seed did);
+* per-point paired baseline training — before baseline memoization
+  shared one exact run per (model, scale, training config, seed) group.
+
+The remaining rewrites (vectorised pooling, cached conv weight views,
+the stateless ``simulate`` fast path, engine micro-optimisations) have
+no kept seed twin, so they speed up *both* sides of the train-step and
+sweep segments equally — the reported composite speedups understate
+the full distance to the seed rather than overstate it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_suite.py                # full
+    PYTHONPATH=src python benchmarks/perf_suite.py --quick        # CI
+    PYTHONPATH=src python benchmarks/perf_suite.py --quick --check
+
+``--check`` exits non-zero when the im2col or baseline-memoization
+speedups fall below a conservative floor (1.5x by default) — the CI
+perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+import repro.core.rpq as rpq_module
+import repro.nn.layers.conv as conv_module
+from repro.analysis.functional_sweep import (FunctionalPoint,
+                                             baseline_key,
+                                             build_functional_grid,
+                                             evaluate_baseline_point,
+                                             load_point_data,
+                                             mercury_config_for,
+                                             run_functional_sweep,
+                                             training_config_for)
+from repro.core.hitmap_sim import simulate_hitmap
+from repro.core.reuse import ReuseEngine
+from repro.core.rpq import RPQHasher, ints_to_words, pack_bits
+from repro.data.loaders import BatchLoader
+from repro.models.registry import build_model
+from repro.nn.im2col import im2col, im2col_reference
+from repro.training.trainer import Trainer
+
+SCHEMA = "perf-suite"
+
+# The reference functional-sweep benchmark config: one baseline group,
+# four MercuryConfig variants spanning the int64 and multi-word
+# signature paths (63 bits was reachable in the seed through adaptive
+# growth, via its slow object-int fallback).
+REFERENCE_SWEEP = dict(models=["squeezenet"], dataset_scales=("small",),
+                       adaptations=("full", "off"),
+                       signature_bits=(20, 63), epochs=1)
+QUICK_SWEEP = dict(REFERENCE_SWEEP, dataset_scales=("tiny",))
+
+
+# ----------------------------------------------------------------------
+# Seed-behaviour replays
+# ----------------------------------------------------------------------
+def seed_pack_bits(bits: np.ndarray) -> np.ndarray:
+    """The seed ``pack_bits``: object-dtype Python ints past 62 bits."""
+    bits = np.asarray(bits)
+    n_vectors, n_bits = bits.shape
+    if n_bits <= 62:
+        weights = (1 << np.arange(n_bits - 1, -1, -1, dtype=np.int64))
+        return (bits.astype(np.int64) * weights).sum(axis=1)
+    packed = np.empty(n_vectors, dtype=object)
+    weights = [1 << (n_bits - 1 - i) for i in range(n_bits)]
+    for row in range(n_vectors):
+        value = 0
+        row_bits = bits[row]
+        for i in range(n_bits):
+            if row_bits[i]:
+                value |= weights[i]
+        packed[row] = value
+    return packed
+
+
+@contextmanager
+def seed_mode():
+    """Swap in the seed implementations kept as oracles."""
+    original_im2col = conv_module.im2col
+    original_pack_bits = rpq_module.pack_bits
+    conv_module.im2col = im2col_reference
+    rpq_module.pack_bits = seed_pack_bits
+    try:
+        yield
+    finally:
+        conv_module.im2col = original_im2col
+        rpq_module.pack_bits = original_pack_bits
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+def best_of(fn, repeats: int) -> float:
+    """Best wall-clock of ``repeats`` calls (first call warms caches)."""
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _segment(before_s: float, after_s: float, **extra) -> dict:
+    return {"before_s": before_s, "after_s": after_s,
+            "speedup": before_s / after_s, **extra}
+
+
+# ----------------------------------------------------------------------
+# Segments
+# ----------------------------------------------------------------------
+def segment_im2col(quick: bool, repeats: int) -> dict:
+    """Strided single-copy im2col vs the loop-filled seed extraction."""
+    shape = (4, 16, 24, 24) if quick else (8, 32, 32, 32)
+    x = np.random.default_rng(0).normal(size=shape)
+    before = best_of(lambda: im2col_reference(x, 3, 3, 1, 1), repeats)
+    after = best_of(lambda: im2col(x, 3, 3, 1, 1), repeats)
+    return _segment(before, after, input_shape=list(shape), kernel=3,
+                    stride=1, pad=1)
+
+
+def segment_rpq_projection(quick: bool, repeats: int) -> dict:
+    """Growing 16 -> 64 signature bits on one batch: full reprojection
+    per step (seed) vs the incremental pipeline (new columns only)."""
+    num_vectors = 2048 if quick else 8192
+    # Vector length of a 3x3 conv patch over 32 channels.
+    vectors = np.random.default_rng(1).normal(size=(num_vectors, 288))
+    steps = list(range(16, 65, 8))
+
+    def full_reprojection():
+        hasher = RPQHasher(seed=9)
+        for bits in steps:
+            pack_bits((hasher.project(vectors, bits) >= 0.0).astype(np.uint8))
+
+    def incremental_pipeline():
+        pipeline = RPQHasher(seed=9).pipeline("bench")
+        for bits in steps:
+            pipeline.signatures(vectors, bits)
+
+    before = best_of(full_reprojection, repeats)
+    after = best_of(incremental_pipeline, repeats)
+    return _segment(before, after, num_vectors=num_vectors,
+                    growth_steps=steps)
+
+
+def segment_hitmap_multiword(quick: bool, repeats: int) -> dict:
+    """>62-bit Hitmap classification: the sequential object-int fallback
+    the seed dropped to vs the lexicographic multi-word group-by."""
+    num_probes = 5000 if quick else 20000
+    rng = np.random.default_rng(2)
+    pool = [(1 << 69) + int(v) for v in rng.integers(0, 400, size=400)]
+    trace_ints = np.array([pool[i] for i in
+                           rng.integers(0, len(pool), size=num_probes)],
+                          dtype=object)
+    trace_words = ints_to_words(trace_ints)
+    before = best_of(lambda: simulate_hitmap(trace_ints, num_sets=64,
+                                             ways=16), repeats)
+    after = best_of(lambda: simulate_hitmap(trace_words, num_sets=64,
+                                            ways=16), repeats)
+    return _segment(before, after, num_probes=num_probes, signature_bits=70)
+
+
+def _one_train_step(point: FunctionalPoint):
+    """Build a fresh trainer for ``point`` and run a single step."""
+    xtr, ytr, _, _, num_outputs = load_point_data(point)
+    model = build_model(point.model, num_classes=num_outputs, seed=1)
+    engine = ReuseEngine(mercury_config_for(point))
+    trainer = Trainer(model, training_config_for(point), engine=engine)
+    loader = BatchLoader(xtr, ytr, batch_size=point.batch_size,
+                         shuffle=False, seed=0)
+    inputs, targets = next(iter(loader))
+    trainer.train_step(inputs, targets)
+
+
+def segment_train_step(quick: bool, repeats: int) -> dict:
+    """One reuse-engine training step (forward + backward + update)."""
+    point = FunctionalPoint(model="squeezenet",
+                            dataset_scale="tiny" if quick else "small",
+                            epochs=1, signature_bits=20)
+    with seed_mode():
+        before = best_of(lambda: _one_train_step(point), repeats)
+    after = best_of(lambda: _one_train_step(point), repeats)
+    return _segment(before, after, model=point.model,
+                    dataset_scale=point.dataset_scale,
+                    signature_bits=point.signature_bits)
+
+
+def segment_baseline_memoization(points) -> dict:
+    """Wall-clock of the baseline-training phase of the reference sweep:
+    one exact run per point (seed) vs one per baseline-key group."""
+    groups: dict[tuple, FunctionalPoint] = {}
+    for point in points:
+        groups.setdefault(baseline_key(point), point)
+
+    start = time.perf_counter()
+    for point in points:
+        evaluate_baseline_point(point)
+    before = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for point in groups.values():
+        evaluate_baseline_point(point)
+    after = time.perf_counter() - start
+    return _segment(before, after, points=len(points), groups=len(groups))
+
+
+def segment_functional_sweep(points) -> dict:
+    """The reference sweep end to end: seed implementations and paired
+    baselines vs the current hot path with shared baselines."""
+    start = time.perf_counter()
+    with seed_mode():
+        run_functional_sweep(points, processes=0, share_baselines=False)
+    before = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_functional_sweep(points, processes=0)
+    after = time.perf_counter() - start
+    return _segment(before, after, points=len(points))
+
+
+# ----------------------------------------------------------------------
+# Suite
+# ----------------------------------------------------------------------
+def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
+    """Run every segment; returns the JSON-safe artifact payload."""
+    repeats = repeats or (2 if quick else 3)
+    sweep_config = QUICK_SWEEP if quick else REFERENCE_SWEEP
+    points = build_functional_grid(**sweep_config)
+
+    segments = {
+        "im2col": segment_im2col(quick, repeats),
+        "rpq_projection_growth": segment_rpq_projection(quick, repeats),
+        "hitmap_multiword": segment_hitmap_multiword(quick, repeats),
+        "train_step": segment_train_step(quick, repeats),
+        "baseline_memoization": segment_baseline_memoization(points),
+        "functional_sweep": segment_functional_sweep(points),
+    }
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "reference_sweep": {key: list(value) if isinstance(value, (tuple, list))
+                            else value for key, value in sweep_config.items()},
+        "segments": segments,
+        "speedups": {name: segment["speedup"]
+                     for name, segment in segments.items()},
+    }
+
+
+def check_floors(payload: dict, floor: float) -> list[str]:
+    """The CI gate: im2col and baseline memoization must hold the floor."""
+    failures = []
+    for name in ("im2col", "baseline_memoization"):
+        speedup = payload["speedups"][name]
+        if speedup < floor:
+            failures.append(f"{name}: {speedup:.2f}x < required {floor:.2f}x")
+    return failures
+
+
+def print_report(payload: dict) -> None:
+    print(f"perf suite ({'quick' if payload['quick'] else 'full'} mode, "
+          f"best of {payload['repeats']})")
+    print(f"{'segment':<24} {'before':>10} {'after':>10} {'speedup':>9}")
+    for name, segment in payload["segments"].items():
+        print(f"{name:<24} {segment['before_s'] * 1e3:>8.2f}ms "
+              f"{segment['after_s'] * 1e3:>8.2f}ms "
+              f"{segment['speedup']:>8.2f}x")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller inputs / fewer repeats (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per segment (best-of)")
+    parser.add_argument("--output", default=None,
+                        help="write the artifact JSON to this path")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when key speedups drop below --floor")
+    parser.add_argument("--floor", type=float, default=1.5,
+                        help="minimum im2col / baseline-memoization "
+                             "speedup for --check (default 1.5)")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(quick=args.quick, repeats=args.repeats)
+    print_report(payload)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        failures = check_floors(payload, args.floor)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}")
+            return 1
+        print(f"floors held (>= {args.floor:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

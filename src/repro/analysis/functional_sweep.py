@@ -15,6 +15,13 @@ initialisation and minibatch order:
 * once with a :class:`~repro.core.reuse.ReuseEngine` configured for the
   point.
 
+The baseline half is independent of every MercuryConfig axis, so
+:func:`run_functional_sweep` memoizes it per
+(model, dataset scale, training config, seed) group
+(:func:`baseline_key`) and shares the one run across all config and
+adaptation variants in the grid — a grid with ``N`` variants per group
+trains ``N + 1`` models instead of ``2 N``.
+
 The row records the accuracy delta between the two runs (validation
 accuracy is measured exactly — the trainer detaches its engine while
 evaluating, so the delta isolates what reuse did to *training*, the
@@ -38,6 +45,7 @@ Typical use (see also ``examples/functional_sweep.py``)::
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import asdict, dataclass
 from typing import ClassVar
@@ -53,7 +61,7 @@ from repro.data.synthetic_images import ClusteredImageDataset, \
     ImageDatasetConfig
 from repro.data.synthetic_text import TranslationConfig, TranslationDataset
 from repro.models.registry import build_model, get_spec
-from repro.training.trainer import Trainer, TrainingConfig
+from repro.training.trainer import Trainer, TrainingConfig, TrainingResult
 
 # Result-row schema for functional rows, mirroring ``sweep.RESULT_KEYS``
 # (asserted by tests/test_functional_sweep.py).
@@ -187,8 +195,13 @@ def derive_seed(seed: int, stream: int) -> int:
 
 
 def mercury_config_for(point: FunctionalPoint) -> MercuryConfig:
-    """The MercuryConfig variant a point describes."""
+    """The MercuryConfig variant a point describes.
+
+    Signature lengths beyond the default 64-bit cap raise the cap too,
+    so >62-bit (multi-word) scenarios can be swept directly.
+    """
     return MercuryConfig(signature_bits=point.signature_bits,
+                         max_signature_bits=max(64, point.signature_bits),
                          mcache_entries=point.mcache_entries,
                          mcache_ways=point.mcache_ways,
                          mcache_backend=point.mcache_backend,
@@ -257,13 +270,57 @@ def _layer_stats_rows(stats) -> list[dict]:
             for record in stats.all_records()]
 
 
-def evaluate_functional_point(point: FunctionalPoint) -> dict:
-    """Train the baseline/reuse pair for one point; returns a result row."""
+# ----------------------------------------------------------------------
+# Baseline memoization: the exact (ExactCountingEngine) run of a point
+# never depends on the MercuryConfig axes (signature bits, MCACHE
+# organisation, backend, adaptation policy), so one baseline training is
+# shared by every config variant in a grid.  The key is derived as
+# *every other* FunctionalPoint field, so a future training-affecting
+# field fails closed (extra baseline groups) instead of silently
+# sharing a wrong baseline.
+# ----------------------------------------------------------------------
+MERCURY_AXIS_FIELDS = frozenset({"adaptation", "signature_bits",
+                                 "mcache_entries", "mcache_ways",
+                                 "mcache_backend"})
+BASELINE_KEY_FIELDS = tuple(
+    field_.name for field_ in dataclasses.fields(FunctionalPoint)
+    if field_.name not in MERCURY_AXIS_FIELDS)
+
+
+def baseline_key(point: FunctionalPoint) -> tuple:
+    """The (model, dataset scale, training config, seed) group of a point."""
+    return tuple(getattr(point, name) for name in BASELINE_KEY_FIELDS)
+
+
+def evaluate_baseline_point(point: FunctionalPoint) -> dict:
+    """Train only the exact baseline of a point; returns a JSON-safe
+    :meth:`~repro.training.TrainingResult.to_dict` payload.
+
+    This is the single place baseline training happens in a shared
+    sweep, which the invocation-counting test relies on.
+    """
+    data = load_point_data(point)
+    baseline_result, _ = train_point(point, ExactCountingEngine(), data)
+    return baseline_result.to_dict()
+
+
+def evaluate_functional_point(point: FunctionalPoint,
+                              baseline: dict | None = None) -> dict:
+    """Train the baseline/reuse pair for one point; returns a result row.
+
+    ``baseline`` accepts a memoized :func:`evaluate_baseline_point`
+    payload; training runs are deterministic in the point's baseline
+    key, so reusing the payload is bit-identical to retraining and the
+    pair degenerates to a single reuse run.
+    """
     start = time.perf_counter()
     config = mercury_config_for(point)
 
     data = load_point_data(point)
-    baseline_result, _ = train_point(point, ExactCountingEngine(), data)
+    if baseline is None:
+        baseline_result, _ = train_point(point, ExactCountingEngine(), data)
+    else:
+        baseline_result = TrainingResult.from_dict(baseline)
     engine = ReuseEngine(config)
     reuse_result, _ = train_point(point, engine, data)
 
@@ -334,10 +391,43 @@ class FunctionalSweepResults(GridResults):
         }
 
 
-def run_functional_sweep(points,
-                         processes: int | None = None
+def _evaluate_with_shared_baseline(task) -> dict:
+    """Pool-friendly wrapper: ``task`` is ``(point, baseline_payload)``."""
+    point, baseline = task
+    return evaluate_functional_point(point, baseline=baseline)
+
+
+def run_functional_sweep(points, processes: int | None = None,
+                         share_baselines: bool = True
                          ) -> FunctionalSweepResults:
-    """Evaluate a functional grid, fanning out like the cycle sweep."""
-    rows, elapsed = run_grid(points, evaluate_functional_point,
-                             processes=processes)
-    return FunctionalSweepResults(rows=rows, elapsed_s=elapsed)
+    """Evaluate a functional grid, fanning out like the cycle sweep.
+
+    With ``share_baselines`` (the default) the exact baseline is trained
+    once per :func:`baseline_key` group — one run shared by all
+    MercuryConfig/adaptation variants of the same (model, dataset scale,
+    training config, seed) — instead of once per point; every result
+    field is bit-identical either way except ``elapsed_s``, which is a
+    wall-clock measurement and therefore excludes the memoized baseline
+    training in shared mode.  ``share_baselines=False`` restores the
+    paired-run-per-point behaviour (the perf suite times the two
+    against each other).
+    """
+    points = list(points)
+    if not share_baselines:
+        rows, elapsed = run_grid(points, evaluate_functional_point,
+                                 processes=processes)
+        return FunctionalSweepResults(rows=rows, elapsed_s=elapsed)
+
+    start = time.perf_counter()
+    representatives: dict[tuple, FunctionalPoint] = {}
+    for point in points:
+        representatives.setdefault(baseline_key(point), point)
+    baseline_rows, _ = run_grid(list(representatives.values()),
+                                evaluate_baseline_point,
+                                processes=processes)
+    baselines = dict(zip(representatives.keys(), baseline_rows))
+    tasks = [(point, baselines[baseline_key(point)]) for point in points]
+    rows, _ = run_grid(tasks, _evaluate_with_shared_baseline,
+                       processes=processes)
+    return FunctionalSweepResults(rows=rows,
+                                  elapsed_s=time.perf_counter() - start)

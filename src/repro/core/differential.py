@@ -30,13 +30,19 @@ from repro.core.hitmap import HitState
 from repro.core.hitmap_sim import HitmapSimulation
 from repro.core.mcache import MCache
 from repro.core.mcache_vec import VectorizedMCache
+from repro.core.rpq import signatures_to_ints
 
 
 def scalar_reference_simulation(signatures, num_sets: int,
                                 ways: int) -> HitmapSimulation:
-    """Signature-phase oracle: probe a fresh scalar MCACHE per vector."""
+    """Signature-phase oracle: probe a fresh scalar MCACHE per vector.
+
+    Accepts any packed representation — multi-word batches are expanded
+    to exact Python integers, since the line-level model probes one
+    arbitrary-precision signature at a time.
+    """
     cache = MCache(entries=num_sets * ways, ways=ways)
-    signatures = np.atleast_1d(np.asarray(signatures))
+    signatures = signatures_to_ints(signatures)
     num_vectors = len(signatures)
     states = np.empty(num_vectors, dtype=object)
     representative = np.arange(num_vectors, dtype=np.int64)
@@ -112,28 +118,33 @@ def run_differential(signatures, entries: int, ways: int, versions: int = 1,
         switch.
     """
     signatures = np.atleast_1d(np.asarray(signatures))
+    # The scalar model probes exact integers; the vectorized engine sees
+    # the trace in whatever packed representation the caller used
+    # (int64, object ints, or multi-word rows).
+    scalar_values = signatures_to_ints(signatures)
     scalar = MCache(entries=entries, ways=ways, versions=versions)
     vectorized = VectorizedMCache(entries=entries, ways=ways,
                                   versions=versions)
-    report = DifferentialReport(probes=len(signatures), chunks=0)
+    report = DifferentialReport(probes=len(scalar_values), chunks=0)
 
     if chunk_sizes is None:
-        chunk_sizes = [len(signatures)]
+        chunk_sizes = [len(scalar_values)]
 
     position = 0
     chunk_index = 0
-    while position < len(signatures):
+    while position < len(scalar_values):
         size = max(1, int(chunk_sizes[chunk_index % len(chunk_sizes)]))
         chunk = signatures[position:position + size]
+        chunk_values = scalar_values[position:position + size]
         version = chunk_index % versions
 
         vec_states, vec_entries = vectorized.lookup_or_insert_batch(chunk)
-        for offset in range(len(chunk)):
+        for offset in range(len(chunk_values)):
             index = position + offset
-            state, entry_id = scalar.lookup_or_insert(int(chunk[offset]))
+            state, entry_id = scalar.lookup_or_insert(int(chunk_values[offset]))
             if state is not vec_states[offset] or entry_id != vec_entries[offset]:
                 report.mismatches.append({
-                    "probe": index, "signature": int(chunk[offset]),
+                    "probe": index, "signature": int(chunk_values[offset]),
                     "scalar": (state.value, entry_id),
                     "vectorized": (vec_states[offset].value,
                                    int(vec_entries[offset]))})
@@ -149,7 +160,7 @@ def run_differential(signatures, entries: int, ways: int, versions: int = 1,
                 vector_has = vectorized.has_data(entry_id, version=version)
                 if scalar_has != vector_has:
                     report.mismatches.append({
-                        "probe": index, "signature": int(chunk[offset]),
+                        "probe": index, "signature": int(chunk_values[offset]),
                         "field": "valid_data",
                         "scalar": scalar_has, "vectorized": vector_has})
                 elif scalar_has:
@@ -158,12 +169,12 @@ def run_differential(signatures, entries: int, ways: int, versions: int = 1,
                                                         version=version)
                     if scalar_value != vector_value:
                         report.mismatches.append({
-                            "probe": index, "signature": int(chunk[offset]),
+                            "probe": index, "signature": int(chunk_values[offset]),
                             "field": "data",
                             "scalar": scalar_value,
                             "vectorized": vector_value})
 
-        position += len(chunk)
+        position += len(chunk_values)
         chunk_index += 1
         report.chunks = chunk_index
         if invalidate_every and chunk_index % invalidate_every == 0:

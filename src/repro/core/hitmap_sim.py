@@ -13,6 +13,12 @@ model) using numpy group-by operations:
   owner;
 * occurrences of a signature whose set was already full at its first
   occurrence are MNU (no replacement — Figure 9).
+
+Signatures arrive either as a 1-D ``int64`` array or — beyond 62 bits —
+as the multi-word ``(n_vectors, n_words)`` ``uint64`` representation
+(:mod:`repro.core.rpq`); the multi-word path groups by lexicographic
+row sort and stays fully vectorised.  Object arrays of exact Python
+ints are still accepted and run through the sequential reference.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hitmap import Hitmap, HitState
+from repro.core.rpq import coerce_packed, unique_signatures, words_mod
 
 
 @dataclass
@@ -63,6 +70,13 @@ def rank_within_groups(sorted_keys: np.ndarray) -> np.ndarray:
     return np.arange(num_keys) - group_starts[group_ids]
 
 
+def signature_sets(unique_values: np.ndarray, num_sets: int) -> np.ndarray:
+    """Cache-set index per unique signature, for either representation."""
+    if unique_values.ndim == 2:
+        return words_mod(unique_values, num_sets)
+    return (unique_values % num_sets).astype(np.int64)
+
+
 def simulate_hitmap(signatures: np.ndarray, num_sets: int,
                     ways: int) -> HitmapSimulation:
     """Classify every signature as HIT, MAU or MNU.
@@ -70,7 +84,8 @@ def simulate_hitmap(signatures: np.ndarray, num_sets: int,
     Parameters
     ----------
     signatures:
-        Packed integer signatures in arrival order.
+        Packed signatures in arrival order: 1-D integers or the
+        multi-word 2-D form.
     num_sets, ways:
         MCACHE geometry; insertion into a set stops once ``ways``
         distinct signatures have claimed its lines.
@@ -85,25 +100,25 @@ def simulate_hitmap(signatures: np.ndarray, num_sets: int,
                                 representative=np.empty(0, dtype=np.int64),
                                 hits=0, mau=0, mnu=0, unique_signatures=0)
 
-    try:
-        as_int64 = signatures.astype(np.int64)
-        if not np.array_equal(as_int64.astype(object), signatures.astype(object)):
-            raise OverflowError
-        return _simulate_vectorised(as_int64, num_sets, ways)
-    except (OverflowError, TypeError, ValueError):
+    signatures, wide = coerce_packed(signatures)
+    if signatures.ndim == 2:
+        return _simulate_vectorised(signatures.astype(np.uint64, copy=False),
+                                    num_sets, ways)
+    if wide:
+        # 1-D object array of exact ints: the sequential reference.
         return _simulate_sequential(signatures, num_sets, ways)
+    return _simulate_vectorised(signatures, num_sets, ways)
 
 
 def _simulate_vectorised(signatures: np.ndarray, num_sets: int,
                          ways: int) -> HitmapSimulation:
-    """numpy group-by implementation for signatures that fit in int64."""
+    """numpy group-by implementation for either packed representation."""
     num_vectors = len(signatures)
-    unique_values, first_index, inverse = np.unique(
-        signatures, return_index=True, return_inverse=True)
+    unique_values, first_index, inverse = unique_signatures(signatures)
 
     # Decide which unique signatures win a cache line: order them by
     # first occurrence and admit the first `ways` per set.
-    unique_sets = unique_values % num_sets
+    unique_sets = signature_sets(unique_values, num_sets)
     arrival_order = np.argsort(first_index, kind="stable")
     sets_in_arrival = unique_sets[arrival_order]
 
@@ -140,7 +155,7 @@ def _simulate_vectorised(signatures: np.ndarray, num_sets: int,
 
 def _simulate_sequential(signatures: np.ndarray, num_sets: int,
                          ways: int) -> HitmapSimulation:
-    """Reference implementation used for arbitrarily long signatures."""
+    """Reference implementation used for object arrays of exact ints."""
     num_vectors = len(signatures)
     states = np.empty(num_vectors, dtype=object)
     representative = np.arange(num_vectors, dtype=np.int64)

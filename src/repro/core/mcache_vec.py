@@ -29,6 +29,16 @@ Because Valid-Tag bits are only ever cleared by a full :meth:`clear`
 (``invalidate_data`` flash-clears VD bits only), the occupied ways of a
 set are always a prefix ``0..occupancy-1``, which is what lets the
 batch insert compute way indices arithmetically.
+
+Signatures wider than 62 bits — reachable through adaptive signature
+growth — arrive in the multi-word ``(n_vectors, n_words)`` ``uint64``
+representation (:mod:`repro.core.rpq`).  The first such batch promotes
+the tag store to a ``(set, way, word)`` array holding full signature
+values; matching becomes an all-words equality and grouping a
+lexicographic row sort, so nothing drops to Python loops.  Equality by
+full value and set indexing by ``value % num_sets`` are exactly the
+scalar model's (set, tag) split, so bit-identity is preserved — mixed
+int64/multi-word traces included.
 """
 
 from __future__ import annotations
@@ -36,8 +46,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.hitmap import HitState
-from repro.core.hitmap_sim import HitmapSimulation, rank_within_groups
+from repro.core.hitmap_sim import (HitmapSimulation, rank_within_groups,
+                                   signature_sets, simulate_hitmap)
 from repro.core.mcache import MCacheStats
+from repro.core.rpq import (coerce_packed, ints_to_words, pad_words,
+                            signature_words, unique_signatures)
 
 
 class VectorizedMCache:
@@ -59,6 +72,10 @@ class VectorizedMCache:
         self.num_sets = entries // ways
         self.stats = MCacheStats()
         self._tags = np.zeros((self.num_sets, ways), dtype=np.int64)
+        # Multi-word mode: full signature values, one row of words per
+        # line, most-significant word first.  ``None`` while every
+        # resident signature fits the int64 tag path.
+        self._tag_words: np.ndarray | None = None
         self._valid_tag = np.zeros((self.num_sets, ways), dtype=bool)
         self._line_entry = np.full((self.num_sets, ways), -1, dtype=np.int64)
         self._occupancy = np.zeros(self.num_sets, dtype=np.int64)
@@ -69,6 +86,9 @@ class VectorizedMCache:
         self._entry_set = np.empty(0, dtype=np.int64)
         self._entry_way = np.empty(0, dtype=np.int64)
         self._next_entry_id = 0
+        # False while every array is in its cleared state, making the
+        # per-layer ``clear`` on the simulate hot path free.
+        self._dirty = False
 
     # ------------------------------------------------------------------
     # Indexing (same split as the scalar model)
@@ -81,28 +101,76 @@ class VectorizedMCache:
         """Tag portion of a signature (remaining high-order bits)."""
         return signature // self.num_sets
 
+    # ------------------------------------------------------------------
+    # Representation management
+    # ------------------------------------------------------------------
     def _normalize(self, signatures) -> np.ndarray:
-        """Return a 1-D int64 array, or an object array of exact ints.
+        """Return a 1-D int64 array or a 2-D multi-word uint64 array.
 
-        Signatures longer than 62 bits (reachable through adaptive
-        signature growth) do not fit int64; the group-by code below is
-        dtype-generic, so such batches run on object arrays of Python
-        ints and the stored tags are promoted to objects once.
+        Promotes the persistent tag store to multi-word mode the first
+        time a batch needs it; afterwards int64 batches are widened on
+        the fly so mixed traces keep comparing by full value.
         """
-        arr = np.atleast_1d(np.asarray(signatures))
-        if arr.ndim != 1:
-            raise ValueError("signatures must be one-dimensional")
-        if arr.dtype == np.int64:
-            return arr
-        try:
-            as_int64 = arr.astype(np.int64)
-            if np.array_equal(as_int64.astype(object), arr.astype(object)):
-                return as_int64
-        except (OverflowError, TypeError, ValueError):
-            pass
-        if self._tags.dtype != object:
-            self._tags = self._tags.astype(object)
-        return arr.astype(object)
+        arr, wide = coerce_packed(signatures)
+        if arr.ndim > 2:
+            raise ValueError("signatures must be one-dimensional "
+                             "or multi-word (n_vectors, n_words)")
+        if wide:
+            words = arr.astype(np.uint64, copy=False) if arr.ndim == 2 \
+                else ints_to_words(arr)
+            self._enter_words_mode(words.shape[1])
+            return pad_words(words, self._tag_words.shape[2])
+        if self._tag_words is not None:
+            # int64 batch while wide signatures are resident: widen.
+            # (Negative signatures — a floor-mod edge the int64 path
+            # supports — cannot be represented as unsigned words.)
+            if (arr < 0).any():
+                raise ValueError("negative signatures cannot mix with "
+                                 "multi-word signatures")
+            return pad_words(arr.astype(np.uint64)[:, None],
+                             self._tag_words.shape[2])
+        return arr
+
+    def _widen_tag_words(self, words: np.ndarray,
+                         num_words: int) -> np.ndarray:
+        """Left-pad (MSB side) a (set, way, word) store to ``num_words``."""
+        if words.shape[2] >= num_words:
+            return words
+        widened = np.zeros((self.num_sets, self.ways, num_words),
+                           dtype=np.uint64)
+        widened[:, :, num_words - words.shape[2]:] = words
+        return widened
+
+    def _resident_full_values(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full signature values of int64-mode lines: tag*num_sets + set.
+
+        Returns ``(full, negative)`` where ``negative`` marks valid
+        lines holding a negative signature (the floor-mod int64 edge),
+        which has no unsigned-word representation.
+        """
+        full = (self._tags * self.num_sets
+                + np.arange(self.num_sets, dtype=np.int64)[:, None])
+        return full, (full < 0) & self._valid_tag
+
+    def _enter_words_mode(self, num_words: int) -> None:
+        """Promote (or widen) the tag store to hold full-value words."""
+        self._dirty = True
+        if self._tag_words is None:
+            full, negative = self._resident_full_values()
+            if bool(negative.any()):
+                # Wrapping a negative resident would break oracle
+                # bit-identity, so refuse loudly — same contract as the
+                # negative-batch guard in ``_normalize``.
+                raise ValueError("negative signatures cannot mix with "
+                                 "multi-word signatures")
+            words = np.zeros((self.num_sets, self.ways, num_words),
+                             dtype=np.uint64)
+            words[:, :, -1] = np.where(self._valid_tag, full, 0).astype(
+                np.uint64)
+            self._tag_words = words
+        else:
+            self._tag_words = self._widen_tag_words(self._tag_words,
+                                                    num_words)
 
     # ------------------------------------------------------------------
     # Signature phase — batch probe and insert
@@ -118,18 +186,40 @@ class VectorizedMCache:
         sigs = self._normalize(signatures)
         if len(sigs) == 0:
             return (np.empty(0, dtype=object), np.empty(0, dtype=np.int64))
-        unique_values, first_index, inverse = np.unique(
-            sigs, return_index=True, return_inverse=True)
+        unique_values, first_index, inverse = unique_signatures(sigs)
         states, entry_ids, _masks = self._probe_prepared(
             unique_values, first_index, inverse, len(sigs))
         return states, entry_ids
+
+    def _match_resident(self, unique_values: np.ndarray,
+                        unique_sets: np.ndarray) -> np.ndarray:
+        """(U, ways) bool: which candidate lines hold each unique value."""
+        candidate_valid = self._valid_tag[unique_sets]
+        if unique_values.ndim == 2:
+            candidates = self._tag_words[unique_sets]        # (U, ways, W)
+            equal = (candidates == unique_values[:, None, :]).all(axis=2)
+        else:
+            unique_tags = unique_values // self.num_sets
+            equal = np.asarray(self._tags[unique_sets]
+                               == unique_tags[:, None], dtype=bool)
+        return candidate_valid & equal
+
+    def _store_tags(self, unique_values: np.ndarray, inserted: np.ndarray,
+                    inserted_sets: np.ndarray,
+                    inserted_ways: np.ndarray) -> None:
+        """Write the winning signatures' tags into their claimed lines."""
+        if unique_values.ndim == 2:
+            self._tag_words[inserted_sets, inserted_ways] = \
+                unique_values[inserted]
+        else:
+            self._tags[inserted_sets, inserted_ways] = \
+                unique_values[inserted] // self.num_sets
 
     def _probe_prepared(self, unique_values, first_index, inverse,
                         num_probes) -> tuple[np.ndarray, np.ndarray, tuple]:
         """Batch probe/insert given a precomputed group-by of the batch."""
         num_unique = len(unique_values)
-        unique_sets = (unique_values % self.num_sets).astype(np.int64)
-        unique_tags = unique_values // self.num_sets
+        unique_sets = signature_sets(unique_values, self.num_sets)
 
         # Which unique signatures are already resident?  An empty cache
         # (the per-layer fresh-clear path) skips the (U, ways) candidate
@@ -138,10 +228,7 @@ class VectorizedMCache:
         if self._next_entry_id == 0:
             present = np.zeros(num_unique, dtype=bool)
         else:
-            candidate_tags = self._tags[unique_sets]        # (U, ways)
-            candidate_valid = self._valid_tag[unique_sets]
-            match = candidate_valid & np.asarray(
-                candidate_tags == unique_tags[:, None], dtype=bool)
+            match = self._match_resident(unique_values, unique_sets)
             present = match.any(axis=1)
             present_way = np.argmax(match, axis=1)
             unique_entry[present] = self._line_entry[
@@ -170,8 +257,9 @@ class VectorizedMCache:
         inserted_sets = unique_sets[inserted]
         inserted_ways = way_arrival[inserted_arrival]
         new_ids = self._next_entry_id + np.arange(len(inserted), dtype=np.int64)
+        self._dirty = True
 
-        self._tags[inserted_sets, inserted_ways] = unique_tags[inserted]
+        self._store_tags(unique_values, inserted, inserted_sets, inserted_ways)
         self._valid_tag[inserted_sets, inserted_ways] = True
         self._line_entry[inserted_sets, inserted_ways] = new_ids
         np.add.at(self._occupancy, inserted_sets, 1)
@@ -207,19 +295,66 @@ class VectorizedMCache:
         return states[0], int(entries[0])
 
     def probe_batch(self, signatures) -> tuple[np.ndarray, np.ndarray]:
-        """Non-mutating batch lookup; returns (present, entry_ids)."""
-        sigs = self._normalize(signatures)
-        if len(sigs) == 0:
+        """Non-mutating batch lookup; returns (present, entry_ids).
+
+        Unlike the insert path, a multi-word probe never promotes the
+        tag store: representation mismatches are bridged by a temporary
+        word view.  A negative resident (unrepresentable as unsigned
+        words) simply cannot match a multi-word probe — a miss, not an
+        error.
+        """
+        arr, wide = coerce_packed(signatures)
+        if len(arr) == 0:
             return (np.empty(0, dtype=bool), np.empty(0, dtype=np.int64))
-        sets = (sigs % self.num_sets).astype(np.int64)
-        tags = sigs // self.num_sets
-        match = self._valid_tag[sets] & np.asarray(
-            self._tags[sets] == tags[:, None], dtype=bool)
+
+        if not wide and self._tag_words is None:
+            sigs = arr
+            sets = signature_sets(sigs, self.num_sets)
+            match = self._match_resident(sigs, sets)
+        else:
+            store_words = 1 if self._tag_words is None \
+                else self._tag_words.shape[2]
+            negative_probe = None
+            if not wide:
+                # int64 probes against a words-mode store: negatives
+                # have no unsigned representation, so they are misses.
+                ints = arr.astype(np.int64)
+                negative_probe = ints < 0
+                arr = np.where(negative_probe, 0, ints)
+            sigs = signature_words(arr)
+            width = max(sigs.shape[1], store_words)
+            sigs = pad_words(sigs, width)
+            sets = signature_sets(sigs, self.num_sets)
+            candidates, candidate_valid = self._tag_words_view(width)
+            match = candidate_valid[sets] & (
+                candidates[sets] == sigs[:, None, :]).all(axis=2)
+            if negative_probe is not None:
+                match &= ~negative_probe[:, None]
+
         present = match.any(axis=1)
         way = np.argmax(match, axis=1)
         entry_ids = np.full(len(sigs), -1, dtype=np.int64)
         entry_ids[present] = self._line_entry[sets[present], way[present]]
         return present, entry_ids
+
+    def _tag_words_view(self, num_words: int) -> tuple[np.ndarray,
+                                                       np.ndarray]:
+        """(tags-as-words, matchable-validity) without mutating state.
+
+        The read-path twin of :meth:`_enter_words_mode`: same widening
+        and reconstruction, but negative residents are excluded from
+        matching (they can never equal an unsigned probe) instead of
+        raising.
+        """
+        if self._tag_words is not None:
+            return (self._widen_tag_words(self._tag_words, num_words),
+                    self._valid_tag)
+        full, negative = self._resident_full_values()
+        words = np.zeros((self.num_sets, self.ways, num_words),
+                         dtype=np.uint64)
+        words[:, :, -1] = np.where(negative | ~self._valid_tag, 0,
+                                   full).astype(np.uint64)
+        return words, self._valid_tag & ~negative
 
     def probe(self, signature: int) -> tuple[bool, int]:
         """Non-mutating scalar lookup; returns (present, entry_id)."""
@@ -235,27 +370,20 @@ class VectorizedMCache:
         Produces the same :class:`HitmapSimulation` as
         :func:`repro.core.hitmap_sim.simulate_hitmap` for the same
         geometry; access counters accumulate in :attr:`stats` across
-        calls (the cache contents do not survive, matching the reuse
-        engine's freshly-cleared-MCACHE-per-layer semantics).
+        calls.  Because the replay starts from (and returns to) an empty
+        cache — the reuse engine's freshly-cleared-MCACHE-per-layer
+        semantics — the classification is exactly the stateless group-by
+        simulation, so this hot path skips the persistent probe/insert
+        machinery entirely: no tag writes, no entry-id bookkeeping, and
+        ``clear`` is a no-op while the cache is already clean.
         """
         self.clear()
-        sigs = self._normalize(signatures)
-        num_probes = len(sigs)
-        if num_probes == 0:
-            return HitmapSimulation(states=np.empty(0, dtype=object),
-                                    representative=np.empty(0, dtype=np.int64),
-                                    hits=0, mau=0, mnu=0, unique_signatures=0)
-        unique_values, first_index, inverse = np.unique(
-            sigs, return_index=True, return_inverse=True)
-        states, _, (hit_mask, mau_mask, mnu_mask) = self._probe_prepared(
-            unique_values, first_index, inverse, num_probes)
-        representative = np.arange(num_probes, dtype=np.int64)
-        representative[hit_mask] = first_index[inverse[hit_mask]]
-        return HitmapSimulation(
-            states=states, representative=representative,
-            hits=int(hit_mask.sum()), mau=int(mau_mask.sum()),
-            mnu=int(mnu_mask.sum()),
-            unique_signatures=len(unique_values))
+        simulation = simulate_hitmap(signatures, num_sets=self.num_sets,
+                                     ways=self.ways)
+        self.stats.hits += simulation.hits
+        self.stats.mau += simulation.mau
+        self.stats.mnu += simulation.mnu
+        return simulation
 
     # ------------------------------------------------------------------
     # Data phase — batched VD-bit bookkeeping
@@ -277,6 +405,7 @@ class VectorizedMCache:
         sets, ways = self._locate(entry_ids)
         self._data[sets, ways, version] = values
         self._valid_data[sets, ways, version] = True
+        self._dirty = True
         self.stats.data_writes += len(sets)
 
     def read_data_batch(self, entry_ids, version: int = 0) -> np.ndarray:
@@ -301,6 +430,7 @@ class VectorizedMCache:
         sets, ways = self._locate([entry_id])
         self._data[sets[0], ways[0], version] = value
         self._valid_data[sets[0], ways[0], version] = True
+        self._dirty = True
         self.stats.data_writes += 1
 
     def read_data(self, entry_id: int, version: int = 0):
@@ -324,7 +454,11 @@ class VectorizedMCache:
 
     def clear(self) -> None:
         """Full reset (new channel / new set of input vectors)."""
+        if not self._dirty:
+            return
+        self._dirty = False
         self._valid_tag[:] = False
+        self._tag_words = None
         self._line_entry[:] = -1
         self._occupancy[:] = 0
         self._valid_data[:] = False

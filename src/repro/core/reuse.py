@@ -119,6 +119,14 @@ class ReuseEngine:
                                                  num_vectors)
             if record is not None:
                 return record.signatures, True
+        # The pure hasher path: every batch reaching the engine is a
+        # freshly extracted array hashed exactly once (cross-phase reuse
+        # is the SignatureTable reload above, the paper's §III-C2
+        # mechanism), so the identity-keyed SignaturePipeline cache
+        # could never hit here — it would only add a fingerprint pass
+        # and a staleness hazard for callers that mutate arrays in
+        # place.  Growth sweeps that re-hash one held batch opt in via
+        # ``self.hasher.pipeline(key)``.
         signatures = self.hasher.signatures(vectors, self.signature_bits)
         return signatures, False
 
@@ -168,13 +176,16 @@ class ReuseEngine:
         signatures, reloaded = self._signatures_for(vectors, layer, phase)
         simulation = self._build_hitmap(signatures)
 
-        hit_mask = simulation.states == HitState.HIT
-        compute_mask = ~hit_mask
-
-        result = np.empty((num_vectors, num_filters), dtype=np.float64)
-        result[compute_mask] = vectors[compute_mask] @ weights
-        if hit_mask.any():
+        if simulation.hits:
+            hit_mask = simulation.states == HitState.HIT
+            compute_mask = ~hit_mask
+            result = np.empty((num_vectors, num_filters), dtype=np.float64)
+            result[compute_mask] = vectors[compute_mask] @ weights
             result[hit_mask] = result[simulation.representative[hit_mask]]
+        else:
+            # Nothing to copy: skip the per-element object-dtype state
+            # comparison and the masked gather/scatter round trip.
+            result = vectors @ weights
 
         if phase == "forward":
             self.signature_table.store(layer, vector_length,

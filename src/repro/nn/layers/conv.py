@@ -51,6 +51,11 @@ class Conv2D(Module):
         self.bias = Parameter(np.zeros(out_channels), name="conv_bias") if bias else None
 
         self._cache = None
+        # (weight array, its 2-D (out_channels, features) view).  The
+        # optimizers update parameter arrays in place, so the view stays
+        # valid across steps; it is rebuilt only if ``weight.value`` is
+        # rebound to a different array.
+        self._weight_matrix_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     def output_shape(self, height: int, width: int) -> tuple:
@@ -72,6 +77,28 @@ class Conv2D(Module):
         if group is None:
             return None
         return max(min(int(group), self.in_channels), 1)
+
+    def _weight_matrix(self) -> np.ndarray:
+        """The filters as a cached ``(out_channels, features)`` view.
+
+        Forward multiplies input vectors by its transpose, backward by
+        the matrix itself; both orientations are zero-copy views of the
+        parameter array, so no per-call reshape/transpose allocation
+        remains on the hot path.
+        """
+        value = self.weight.value
+        cache = self._weight_matrix_cache
+        if cache is None or cache[0] is not value:
+            flat = value.reshape(self.out_channels, -1)
+            if flat.base is not value:
+                # reshape copied (non-contiguous weights, e.g. rebound
+                # to a transposed array): caching the copy would freeze
+                # the layer against in-place optimizer updates, so
+                # rebuild per call instead.
+                return flat
+            cache = (value, flat)
+            self._weight_matrix_cache = cache
+        return cache[1]
 
     def _engine_forward(self, cols: np.ndarray, weight_matrix: np.ndarray) -> np.ndarray:
         """Route the forward dot products through the engine, per channel group."""
@@ -100,7 +127,7 @@ class Conv2D(Module):
 
         cols = im2col(x, self.kernel_size, self.kernel_size,
                       self.stride, self.padding)
-        weight_matrix = self.weight.value.reshape(self.out_channels, -1).T
+        weight_matrix = self._weight_matrix().T
 
         if self.engine is not None:
             out = self._engine_forward(cols, weight_matrix)
@@ -108,7 +135,9 @@ class Conv2D(Module):
             out = cols @ weight_matrix
 
         if self.bias is not None:
-            out = out + self.bias.value
+            # Both branches above return a fresh array, so the bias add
+            # can be in place.
+            out += self.bias.value
 
         self._cache = (x.shape, cols)
         out = out.reshape(batch, out_h, out_w, self.out_channels)
@@ -124,14 +153,15 @@ class Conv2D(Module):
             self.bias.grad += grad_matrix.sum(axis=0)
 
         # Weight gradient: convolution of output gradients with saved inputs
-        # (equation (1) in the paper).
-        weight_grad = cols.T @ grad_matrix
-        self.weight.grad += weight_grad.T.reshape(self.weight.value.shape)
+        # (equation (1) in the paper).  Computed directly in the filter
+        # orientation so the reshape back to 4-D is a view, not a copy.
+        weight_grad = grad_matrix.T @ cols
+        self.weight.grad += weight_grad.reshape(self.weight.value.shape)
 
         # Input gradient: each row of grad_matrix is a *gradient vector*;
         # MERCURY reuses results among similar gradient vectors during
         # backward propagation (equation (2) / §III-C2).
-        weight_matrix = self.weight.value.reshape(self.out_channels, -1)
+        weight_matrix = self._weight_matrix()
         if self.engine is not None:
             grad_cols = self.engine.matmul(grad_matrix, weight_matrix,
                                            layer=self.layer_name, phase="backward")

@@ -4,12 +4,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.im2col import conv_output_size
+from repro.nn.im2col import conv_output_size, sliding_windows
 from repro.nn.module import Module
 
 
 class MaxPool2D(Module):
-    """Max pooling over non-overlapping or strided square windows."""
+    """Max pooling over non-overlapping or strided square windows.
+
+    Both passes are vectorised over every window at once via the
+    strided-view helper the convolution hot path uses; the argmax /
+    scatter semantics (first-maximum wins, contributions accumulate in
+    window order) are identical to a per-window loop.
+    """
 
     def __init__(self, kernel_size: int, stride: int | None = None):
         super().__init__()
@@ -23,16 +29,13 @@ class MaxPool2D(Module):
         out_h = conv_output_size(height, k, s, 0)
         out_w = conv_output_size(width, k, s, 0)
 
-        out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
-        argmax = np.empty((batch, channels, out_h, out_w), dtype=np.int64)
-        for i in range(out_h):
-            for j in range(out_w):
-                window = x[:, :, i * s:i * s + k, j * s:j * s + k]
-                flat = window.reshape(batch, channels, -1)
-                idx = flat.argmax(axis=2)
-                argmax[:, :, i, j] = idx
-                out[:, :, i, j] = np.take_along_axis(
-                    flat, idx[:, :, None], axis=2)[:, :, 0]
+        windows = sliding_windows(x, k, k, s)
+        # (batch, channels, out_h, out_w, k*k): each window's elements
+        # row-major, matching the per-window reshape of the scalar loop.
+        flat = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+            batch, channels, out_h, out_w, k * k)
+        argmax = flat.argmax(axis=4)
+        out = np.take_along_axis(flat, argmax[..., None], axis=4)[..., 0]
 
         self._cache = (x.shape, argmax)
         return out
@@ -43,17 +46,14 @@ class MaxPool2D(Module):
         k, s = self.kernel_size, self.stride
         _, _, out_h, out_w = grad_output.shape
 
+        di, dj = np.divmod(argmax, k)
+        rows = np.arange(out_h, dtype=np.int64)[None, None, :, None] * s + di
+        cols = np.arange(out_w, dtype=np.int64)[None, None, None, :] * s + dj
+        b_idx = np.arange(batch)[:, None, None, None]
+        c_idx = np.arange(channels)[None, :, None, None]
+
         grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
-        for i in range(out_h):
-            for j in range(out_w):
-                idx = argmax[:, :, i, j]
-                di, dj = np.divmod(idx, k)
-                rows = i * s + di
-                cols = j * s + dj
-                b_idx, c_idx = np.meshgrid(np.arange(batch), np.arange(channels),
-                                           indexing="ij")
-                np.add.at(grad_input, (b_idx, c_idx, rows, cols),
-                          grad_output[:, :, i, j])
+        np.add.at(grad_input, (b_idx, c_idx, rows, cols), grad_output)
         return grad_input
 
 

@@ -4,7 +4,9 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.rpq import RPQHasher, pack_bits, signature_via_convolution
+from repro.core.rpq import (RPQHasher, ints_to_words, pack_bits,
+                            signature_via_convolution, signatures_to_ints,
+                            words_for_bits)
 
 
 def test_pack_bits_small():
@@ -12,11 +14,12 @@ def test_pack_bits_small():
     assert list(packed) == [5, 1]
 
 
-def test_pack_bits_long_signature_uses_python_ints():
+def test_pack_bits_long_signature_uses_multiword_uint64():
     bits = np.ones((2, 70), dtype=np.uint8)
     packed = pack_bits(bits)
-    assert packed.dtype == object
-    assert packed[0] == (1 << 70) - 1
+    assert packed.dtype == np.uint64
+    assert packed.shape == (2, 2)          # (n_vectors, n_words)
+    assert int(signatures_to_ints(packed)[0]) == (1 << 70) - 1
 
 
 def test_identical_vectors_share_signatures():
@@ -55,6 +58,108 @@ def test_projection_matrix_is_cached_and_deterministic():
     assert first is second
     other = RPQHasher(seed=5).projection_matrix(9, 16)
     np.testing.assert_array_equal(first, other)
+
+
+def test_projection_matrix_prefix_is_stable_under_growth():
+    """Regression: growing the signature must keep the first bits'
+    filters stable — the n-bit matrix is a column prefix of the
+    (n+k)-bit matrix, in whichever order the widths are requested."""
+    grow_up = RPQHasher(seed=5)
+    narrow = grow_up.projection_matrix(9, 12).copy()
+    wide = grow_up.projection_matrix(9, 40)
+    np.testing.assert_array_equal(wide[:, :12], narrow)
+
+    shrink_down = RPQHasher(seed=5)
+    wide_first = shrink_down.projection_matrix(9, 40).copy()
+    narrow_second = shrink_down.projection_matrix(9, 12)
+    np.testing.assert_array_equal(wide_first[:, :12], narrow_second)
+    np.testing.assert_array_equal(wide_first, wide)
+
+    # Growth must not pin superseded banks: after growing, every cached
+    # view for that vector length aliases the *current* (widest) bank.
+    bank = grow_up._column_bank(9, 40)
+    again = grow_up.projection_matrix(9, 12)
+    assert again.base is bank
+
+
+@settings(deadline=None, max_examples=20)
+@given(dim=st.integers(2, 12), bits=st.integers(1, 70),
+       extra=st.integers(1, 70))
+def test_signature_prefix_property(dim, bits, extra):
+    """Signatures for n bits are a bitwise prefix of signatures for
+    n + k bits, for any n, k — the §III-D growth contract."""
+    rng = np.random.default_rng(dim * 97 + bits)
+    vectors = rng.normal(size=(8, dim))
+    # Fresh hashers per width, so the comparison spans two independent
+    # from-scratch projections (not one pipeline's cached columns).
+    narrow_bits = RPQHasher(seed=13).signature_bits_matrix(vectors, bits)
+    wide_bits = RPQHasher(seed=13).signature_bits_matrix(vectors,
+                                                         bits + extra)
+    np.testing.assert_array_equal(wide_bits[:, :bits], narrow_bits)
+
+
+def test_signature_pipeline_projects_only_new_columns():
+    """Growing the signature for a cached batch touches only the new
+    projection columns; results equal a from-scratch hash."""
+    hasher = RPQHasher(seed=21)
+    rng = np.random.default_rng(6)
+    vectors = rng.normal(size=(30, 10))
+    pipeline = hasher.pipeline(("layer", "forward"))
+
+    first = pipeline.signatures(vectors, 16)
+    assert pipeline.projected_columns == 16
+    grown = pipeline.signatures(vectors, 24)
+    assert pipeline.projected_columns == 24      # only 8 new columns
+    assert pipeline.reused_columns >= 16
+    np.testing.assert_array_equal(
+        RPQHasher(seed=21).signatures(vectors, 24), grown)
+    # Shrinking (or repeating) costs no new projection at all.
+    again = pipeline.signatures(vectors, 16)
+    assert pipeline.projected_columns == 24
+    np.testing.assert_array_equal(again, first)
+
+
+def test_empty_batch_produces_empty_signatures():
+    """Zero-vector batches (an empty layer slice) must not crash the
+    pipeline's fingerprint path."""
+    hasher = RPQHasher(seed=1)
+    empty = np.empty((0, 5))
+    sigs = hasher.signatures(empty, 16)
+    assert sigs.shape == (0,)
+    wide = hasher.signatures(empty, 70)
+    assert wide.shape[0] == 0
+    assert hasher.similarity_fraction(empty, 16) == 0.0
+
+
+def test_signature_pipeline_detects_in_place_mutation():
+    """The content fingerprint invalidates a cached batch that was
+    mutated in place, so stale projections are never reused."""
+    hasher = RPQHasher(seed=22)
+    vectors = np.random.default_rng(7).normal(size=(12, 6))
+    pipeline = hasher.pipeline("consumer")
+    before = pipeline.signatures(vectors, 10).copy()
+    vectors *= -1.0       # same object, different content
+    after = pipeline.signatures(vectors, 10)
+    np.testing.assert_array_equal(
+        RPQHasher(seed=22).signatures(vectors, 10), after)
+    assert not np.array_equal(before, after)
+
+
+def test_public_hasher_api_is_pure_under_in_place_mutation():
+    """The public RPQHasher API never returns stale signatures, whatever
+    in-place edit happens between calls (regression: it was once routed
+    through a hidden per-shape cache)."""
+    hasher = RPQHasher(seed=23)
+    vectors = np.random.default_rng(8).normal(size=(30, 10))
+    hasher.signatures(vectors, 16)
+    vectors[0, 1] += 5.0                       # single-element edit
+    mutated = hasher.signatures(vectors, 16)
+    np.testing.assert_array_equal(
+        RPQHasher(seed=23).signatures(vectors, 16), mutated)
+    vectors[[2, 5]] = vectors[[5, 2]]          # sum-preserving row swap
+    swapped = hasher.signatures(vectors, 16)
+    np.testing.assert_array_equal(
+        RPQHasher(seed=23).signatures(vectors, 16), swapped)
 
 
 def test_longer_signatures_find_more_unique_vectors():
@@ -121,18 +226,24 @@ def test_pack_bits_round_trip_property(n_bits, n_vectors):
 
 
 @settings(deadline=None, max_examples=15)
-@given(n_bits=st.integers(63, 96), n_vectors=st.integers(1, 8))
+@given(n_bits=st.integers(63, 200), n_vectors=st.integers(1, 8))
 def test_pack_bits_round_trip_wide_property(n_bits, n_vectors):
-    """Signatures beyond 62 bits pack into exact Python integers."""
+    """Signatures beyond 62 bits pack into multi-word uint64 rows whose
+    integer value round-trips exactly."""
     rng = np.random.default_rng(n_bits * 1000 + n_vectors)
     bits = rng.integers(0, 2, size=(n_vectors, n_bits))
     packed = pack_bits(bits)
-    assert packed.dtype == object
+    assert packed.dtype == np.uint64
+    assert packed.shape == (n_vectors, words_for_bits(n_bits))
+    values = signatures_to_ints(packed)
     for row in range(n_vectors):
-        value = int(packed[row])
+        value = int(values[row])
         assert value.bit_length() <= n_bits
         unpacked = [(value >> (n_bits - 1 - i)) & 1 for i in range(n_bits)]
         assert unpacked == list(bits[row])
+    # ints -> words -> ints round-trips through the conversion helpers.
+    rebuilt = ints_to_words(values, num_words=packed.shape[1])
+    np.testing.assert_array_equal(rebuilt, packed)
 
 
 @settings(deadline=None, max_examples=15)

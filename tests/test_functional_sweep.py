@@ -28,6 +28,7 @@ from repro.analysis.functional_sweep import (
     SHUFFLE_STREAM,
     SPLIT_STREAM,
     FunctionalPoint,
+    baseline_key,
     build_functional_grid,
     derive_seed,
     evaluate_functional_point,
@@ -89,6 +90,65 @@ def test_pool_matches_in_process_rows():
     for serial_row, pooled_row in zip(serial.rows, pooled.rows):
         for key in FUNCTIONAL_RESULT_KEYS - {"elapsed_s"}:
             assert serial_row[key] == pooled_row[key]
+
+
+# ----------------------------------------------------------------------
+# Baseline memoization: one exact run per (model, scale, training, seed)
+# group, shared across every MercuryConfig/adaptation variant.
+# ----------------------------------------------------------------------
+def _count_train_calls(monkeypatch):
+    from repro.analysis import functional_sweep as fs
+    from repro.core.reuse import ExactCountingEngine
+
+    counts = {"baseline": 0, "reuse": 0}
+    real_train_point = fs.train_point
+
+    def counting_train_point(point, engine, data=None):
+        if isinstance(engine, ExactCountingEngine):
+            counts["baseline"] += 1
+        elif engine is not None:
+            counts["reuse"] += 1
+        return real_train_point(point, engine, data)
+
+    monkeypatch.setattr(fs, "train_point", counting_train_point)
+    return counts
+
+
+def test_baseline_trained_exactly_once_per_group(monkeypatch):
+    """Four MercuryConfig/adaptation variants of one (model, scale,
+    training config, seed) group trigger exactly one baseline run."""
+    counts = _count_train_calls(monkeypatch)
+    points = build_functional_grid(["squeezenet"],
+                                   adaptations=("full", "off"),
+                                   signature_bits=(12, 20), epochs=1)
+    assert len(points) == 4
+    assert len({baseline_key(p) for p in points}) == 1
+    results = run_functional_sweep(points, processes=0)
+    assert counts == {"baseline": 1, "reuse": 4}
+    assert len(results.rows) == 4
+
+
+def test_baseline_runs_scale_with_groups_not_points(monkeypatch):
+    """Distinct seeds (and training configs) are distinct groups."""
+    counts = _count_train_calls(monkeypatch)
+    points = build_functional_grid(["squeezenet"], signature_bits=(12, 20),
+                                   seeds=(0, 1), epochs=1)
+    assert len(points) == 4
+    assert len({baseline_key(p) for p in points}) == 2
+    run_functional_sweep(points, processes=0)
+    assert counts == {"baseline": 2, "reuse": 4}
+
+
+def test_shared_baseline_rows_match_paired_runs():
+    """Memoized rows are bit-identical to per-point paired training."""
+    points = build_functional_grid(["squeezenet"], signature_bits=(12, 20),
+                                   epochs=1)
+    shared = run_functional_sweep(points, processes=0)
+    paired = run_functional_sweep(points, processes=0,
+                                  share_baselines=False)
+    for shared_row, paired_row in zip(shared.rows, paired.rows):
+        for key in FUNCTIONAL_RESULT_KEYS - {"elapsed_s"}:
+            assert shared_row[key] == paired_row[key], key
 
 
 # ----------------------------------------------------------------------

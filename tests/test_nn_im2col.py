@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.im2col import (col2im, conv_output_size, im2col,
+                             im2col_reference, im2col_view, sliding_windows)
 
 
 def test_conv_output_size_basic():
@@ -76,6 +77,40 @@ def test_im2col_shape_property(batch, channels, size, kernel):
     cols = im2col(x, kernel, kernel)
     out = size - kernel + 1
     assert cols.shape == (batch * out * out, channels * kernel * kernel)
+
+
+def test_sliding_windows_is_a_zero_copy_view():
+    x = np.arange(2 * 3 * 5 * 5, dtype=float).reshape(2, 3, 5, 5)
+    windows = sliding_windows(x, 3, 3, stride=2)
+    assert windows.shape == (2, 3, 3, 3, 2, 2)
+    assert windows.base is not None          # a view, not a copy
+    assert np.shares_memory(windows, x)
+    assert not windows.flags.writeable
+    np.testing.assert_array_equal(windows[1, 2, :, :, 1, 0],
+                                  x[1, 2, 2:5, 0:3])
+
+
+def test_im2col_view_defers_the_copy():
+    x = np.random.default_rng(3).normal(size=(2, 2, 6, 6))
+    view = im2col_view(x, 3, 3)
+    assert np.shares_memory(view, x)
+    np.testing.assert_array_equal(view.reshape(2 * 4 * 4, 2 * 9),
+                                  im2col(x, 3, 3))
+
+
+@settings(deadline=None, max_examples=30)
+@given(batch=st.integers(1, 3), channels=st.integers(1, 3),
+       size=st.integers(4, 9), kernel=st.integers(1, 3),
+       stride=st.integers(1, 3), pad=st.integers(0, 2))
+def test_im2col_matches_reference_bitwise(batch, channels, size, kernel,
+                                          stride, pad):
+    """The strided rewrite gathers exactly the loop oracle's values."""
+    x = np.random.default_rng(size * 7 + kernel).normal(
+        size=(batch, channels, size, size))
+    fast = im2col(x, kernel, kernel, stride=stride, pad=pad)
+    reference = im2col_reference(x, kernel, kernel, stride=stride, pad=pad)
+    assert fast.dtype == reference.dtype
+    np.testing.assert_array_equal(fast, reference)
 
 
 @settings(deadline=None, max_examples=20)

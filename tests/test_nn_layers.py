@@ -271,3 +271,25 @@ def test_embedding_rejects_out_of_range():
     layer = Embedding(4, 2)
     with pytest.raises(ValueError):
         layer.forward(np.array([5]))
+
+
+def test_conv_weight_matrix_cache_handles_noncontiguous_rebind():
+    """Rebinding weights to a non-contiguous array must not freeze the
+    layer: the cached weight-matrix view is only kept when reshape
+    really returned a view, so in-place optimizer updates always reach
+    the forward pass."""
+    rng = np.random.default_rng(0)
+    conv = Conv2D(2, 3, 3, bias=False, seed=0)
+    x = rng.normal(size=(1, 2, 5, 5))
+    out_original = conv.forward(x)
+
+    doubled = np.ascontiguousarray(np.moveaxis(conv.weight.value * 2.0,
+                                               0, -1))
+    conv.weight.value = np.moveaxis(doubled, -1, 0)   # non-contiguous view
+    out_doubled = conv.forward(x)
+    np.testing.assert_allclose(out_doubled, 2.0 * out_original)
+
+    # An in-place update (what the optimizers do) must be visible too.
+    conv.weight.value *= 0.5
+    out_restored = conv.forward(x)
+    np.testing.assert_allclose(out_restored, out_original)

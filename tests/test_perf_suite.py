@@ -1,0 +1,72 @@
+"""Smoke tests for the hot-path perf suite.
+
+The timing magnitudes themselves are CI-noise territory — the dedicated
+perf-smoke job gates them via ``perf_suite.py --quick --check`` — so
+these tests pin the artifact contract instead: every segment reports
+before/after wall clocks, the seed replays are faithful, and the floor
+checker actually fails when a floor is not met.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.core.rpq as rpq_module
+import repro.nn.layers.conv as conv_module
+from benchmarks.perf_suite import (SCHEMA, check_floors, seed_mode,
+                                   seed_pack_bits, segment_im2col)
+from repro.core.rpq import pack_bits, signatures_to_ints
+from repro.nn.im2col import im2col_reference
+
+
+def test_seed_pack_bits_matches_current_values():
+    rng = np.random.default_rng(0)
+    narrow = rng.integers(0, 2, size=(20, 20))
+    np.testing.assert_array_equal(seed_pack_bits(narrow), pack_bits(narrow))
+    wide = rng.integers(0, 2, size=(8, 70))
+    seed_values = seed_pack_bits(wide)
+    assert seed_values.dtype == object
+    np.testing.assert_array_equal(seed_values,
+                                  signatures_to_ints(pack_bits(wide)))
+
+
+def test_seed_mode_swaps_and_restores_implementations():
+    original_im2col = conv_module.im2col
+    original_pack = rpq_module.pack_bits
+    with seed_mode():
+        assert conv_module.im2col is im2col_reference
+        assert rpq_module.pack_bits is seed_pack_bits
+    assert conv_module.im2col is original_im2col
+    assert rpq_module.pack_bits is original_pack
+
+
+def test_segment_payload_shape():
+    segment = segment_im2col(quick=True, repeats=1)
+    assert segment["before_s"] > 0.0
+    assert segment["after_s"] > 0.0
+    assert segment["speedup"] == segment["before_s"] / segment["after_s"]
+
+
+def test_check_floors_flags_misses():
+    payload = {"speedups": {"im2col": 2.0, "baseline_memoization": 1.2,
+                            "functional_sweep": 3.0}}
+    failures = check_floors(payload, floor=1.5)
+    assert len(failures) == 1 and "baseline_memoization" in failures[0]
+    assert check_floors(payload, floor=1.1) == []
+
+
+def test_run_suite_artifact_contract():
+    """One fastest-possible full pass: schema, segments and speedups."""
+    from benchmarks.perf_suite import run_suite
+    payload = run_suite(quick=True, repeats=1)
+    assert payload["schema"] == SCHEMA
+    expected = {"im2col", "rpq_projection_growth", "hitmap_multiword",
+                "train_step", "baseline_memoization", "functional_sweep"}
+    assert set(payload["segments"]) == expected
+    assert set(payload["speedups"]) == expected
+    for segment in payload["segments"].values():
+        assert segment["before_s"] > 0.0 and segment["after_s"] > 0.0
+        assert segment["speedup"] > 0.0
+    # The artifact is JSON-safe.
+    import json
+    json.dumps(payload)
