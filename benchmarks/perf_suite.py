@@ -17,7 +17,12 @@ oracles — the dominant costs this overhaul removed:
   also routes the Hitmap through the sequential object-array fallback,
   exactly as the seed did);
 * per-point paired baseline training — before baseline memoization
-  shared one exact run per (model, scale, training config, seed) group.
+  shared one exact run per (model, scale, training config, seed) group;
+* per-channel-group engine calls — before `ReuseEngine.matmul_groups`
+  batched them into one multi-group signature/group-by phase
+  (`batch_channel_groups=False` replays the per-call loop);
+* cache-less serving — the serving segment replays one Zipfian trace
+  without and with the cross-request exact cache.
 
 The remaining rewrites (vectorised pooling, cached conv weight views,
 the stateless ``simulate`` fast path, engine micro-optimisations) have
@@ -227,6 +232,61 @@ def segment_baseline_memoization(points) -> dict:
     return _segment(before, after, points=len(points), groups=len(groups))
 
 
+def segment_conv_group_batching(quick: bool, repeats: int) -> dict:
+    """Per-channel-group engine calls (`conv_channel_group=1`): one call
+    per group (seed, `batch_channel_groups=False`) vs the multi-group
+    signature/group-by phase (`ReuseEngine.matmul_groups`)."""
+    from repro.core.config import MercuryConfig
+    from repro.nn.layers.conv import Conv2D
+
+    channels = 32 if quick else 64
+    x = np.random.default_rng(3).normal(
+        size=(8, channels, 8 if quick else 12, 8 if quick else 12))
+
+    def run(batched: bool):
+        engine = ReuseEngine(MercuryConfig(
+            batch_channel_groups=batched, conv_channel_group=1,
+            adaptive_signature_length=False, adaptive_stoppage=False))
+        conv = Conv2D(channels, 16, 3, padding=1, seed=1)
+        conv.engine = engine
+        conv.forward(x)
+
+    before = best_of(lambda: run(False), repeats)
+    after = best_of(lambda: run(True), repeats)
+    return _segment(before, after, channels=channels,
+                    input_shape=list(x.shape))
+
+
+def segment_serving_reuse(quick: bool, repeats: int) -> dict:
+    """Zipfian serving trace: no cache (every request forwarded) vs the
+    cross-request exact cache (hits copy cached outputs)."""
+    from repro.models.registry import build_model
+    from repro.serving import (BatcherConfig, InferenceServer,
+                               ServingPolicy, TrafficConfig,
+                               build_request_pool, generate_trace)
+
+    num_requests = 120 if quick else 400
+    pool = build_request_pool("squeezenet", pool_size=16, image_size=12,
+                              seed=0)
+    trace = generate_trace(TrafficConfig(pattern="zipfian",
+                                         num_requests=num_requests, seed=1),
+                           len(pool))
+
+    def serve(cached: bool):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        policy = ServingPolicy(request_cache=cached, vector_cache=False,
+                               exact_check=True, compute="batched")
+        server = InferenceServer(model, policy,
+                                 BatcherConfig(max_batch_size=8,
+                                               max_wait_s=0.001))
+        server.replay(trace, pool)
+
+    before = best_of(lambda: serve(False), repeats)
+    after = best_of(lambda: serve(True), repeats)
+    return _segment(before, after, num_requests=num_requests,
+                    pool_size=len(pool), traffic="zipfian")
+
+
 def segment_functional_sweep(points) -> dict:
     """The reference sweep end to end: seed implementations and paired
     baselines vs the current hot path with shared baselines."""
@@ -255,6 +315,8 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "rpq_projection_growth": segment_rpq_projection(quick, repeats),
         "hitmap_multiword": segment_hitmap_multiword(quick, repeats),
         "train_step": segment_train_step(quick, repeats),
+        "conv_group_batching": segment_conv_group_batching(quick, repeats),
+        "serving_reuse": segment_serving_reuse(quick, repeats),
         "baseline_memoization": segment_baseline_memoization(points),
         "functional_sweep": segment_functional_sweep(points),
     }

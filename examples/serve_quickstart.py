@@ -1,0 +1,156 @@
+"""Serve a trained model with cross-request computation reuse.
+
+Trains a small SqueezeNet, stands up an :class:`InferenceServer` with
+the request-granularity exact cache, and replays a Zipfian (hot-key)
+load-generator trace through the micro-batching queue.  The served
+outputs are checked byte-for-byte against the engine-less per-request
+forward oracle — cross-request reuse with ``exact_check`` only ever
+copies an output the oracle computation produced for an identical
+payload — and the reuse/latency telemetry is printed.
+
+    python examples/serve_quickstart.py
+    python examples/serve_quickstart.py --traffic bursty --requests 200 \
+        --check --p99-floor-ms 250
+    python examples/serve_quickstart.py --http  # also smoke the HTTP door
+
+``--check`` turns the run into a gate (the CI serving-smoke job): it
+exits non-zero unless the hit rate is positive, the outputs match the
+oracle bit-for-bit, and p99 latency stays under the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.data import ClusteredImageDataset, ImageDatasetConfig, \
+    train_test_split
+from repro.models import build_model
+from repro.serving import (BatcherConfig, InferenceServer, ServingPolicy,
+                           TrafficConfig, build_request_pool, generate_trace)
+from repro.serving.loadgen import TRAFFIC_PATTERNS, trace_summary
+from repro.training import Trainer, TrainingConfig
+
+
+def train_squeezenet(epochs: int, seed: int = 1):
+    """A quick exact training run; serving wants trained weights."""
+    dataset = ClusteredImageDataset(ImageDatasetConfig(
+        num_classes=4, samples_per_class=12, image_size=12, seed=7))
+    xtr, ytr, xte, yte = train_test_split(dataset.images, dataset.labels,
+                                          test_fraction=0.25, seed=0)
+    model = build_model("squeezenet", num_classes=4, seed=seed)
+    trainer = Trainer(model, TrainingConfig(epochs=epochs, batch_size=8,
+                                            learning_rate=0.01,
+                                            optimizer="adam"))
+    result = trainer.fit(xtr, ytr, validation=(xte, yte))
+    return model, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traffic", default="zipfian",
+                        choices=list(TRAFFIC_PATTERNS))
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--pool-size", type=int, default=24)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--vector-cache", action="store_true",
+                        help="layer the per-layer vector cache under the "
+                             "request cache")
+    parser.add_argument("--http", action="store_true",
+                        help="also serve one request over the HTTP front "
+                             "end")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless hit rate > 0, outputs "
+                             "are bit-identical and p99 holds the floor")
+    parser.add_argument("--p99-floor-ms", type=float, default=250.0)
+    args = parser.parse_args(argv)
+
+    # 1. Train the model to serve.
+    model, training = train_squeezenet(args.epochs)
+    print(f"trained squeezenet: validation accuracy "
+          f"{training.final_validation_accuracy:.2f}")
+
+    # 2. A deterministic traffic scenario over a fixed request pool.
+    pool = build_request_pool("squeezenet", pool_size=args.pool_size,
+                              image_size=12, seed=0)
+    trace = generate_trace(TrafficConfig(pattern=args.traffic,
+                                         num_requests=args.requests,
+                                         seed=1), len(pool))
+    shape = trace_summary(trace)
+    print(f"{args.traffic} trace: {shape['requests']} requests over "
+          f"{shape['distinct_payloads']} distinct payloads "
+          f"(top key {shape['top_key_share']:.0%} of traffic)")
+
+    # 3. Serve it.  The request cache reuses whole outputs across
+    #    identical requests; ``per_request`` compute keeps every miss
+    #    bitwise reproducible against the oracle.
+    policy = ServingPolicy(request_cache=True,
+                           vector_cache=args.vector_cache,
+                           exact_check=True, compute="per_request")
+    server = InferenceServer(model, policy,
+                             BatcherConfig(max_batch_size=args.batch_size,
+                                           max_wait_s=0.001))
+    outputs, report = server.replay(trace, pool)
+
+    print(f"served {report.requests} requests in {report.duration_s:.2f}s "
+          f"({report.throughput_rps:.0f} rps, "
+          f"{report.batches} micro-batches, "
+          f"mean size {report.mean_batch_size:.1f})")
+    print(f"cross-request reuse: hit rate {report.hit_rate:.2%} "
+          f"({report.request_cache['cross_hits']} cross-batch + "
+          f"{report.request_cache['intra_hits']} intra-batch hits)")
+    print(f"latency: p50 {report.latency_p50_ms:.2f} ms, "
+          f"p99 {report.latency_p99_ms:.2f} ms")
+    if args.vector_cache:
+        print(f"vector cache: {report.vector_cache['hit_rate']:.2%} row "
+              f"hit rate across {len(report.layer_stats)} layer records")
+
+    # 4. Exactness: byte-identical to the engine-less forward oracle.
+    oracle = server.oracle_outputs(pool)
+    identical = sum(
+        1 for request, output in zip(trace, outputs)
+        if np.array_equal(output, oracle[request.pool_index]))
+    print(f"exactness: {identical}/{len(trace)} outputs bit-identical "
+          f"to the engine-less oracle")
+
+    # 5. Optionally exercise the HTTP front end.
+    if args.http:
+        import json
+        import urllib.request
+        front = server.serve_http(port=0)
+        try:
+            body = json.dumps({"inputs": pool[0].tolist()}).encode()
+            request = urllib.request.Request(
+                front.url("/infer"), data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.load(response)
+            print(f"HTTP /infer round trip: {front.url('/infer')} -> "
+                  f"{len(payload['outputs'])} logits in "
+                  f"{payload['latency_ms']:.2f} ms")
+        finally:
+            front.stop()
+
+    if args.check:
+        failures = []
+        if report.hit_rate <= 0:
+            failures.append("hit rate is zero")
+        if identical != len(trace):
+            failures.append(
+                f"only {identical}/{len(trace)} outputs bit-identical")
+        if report.latency_p99_ms >= args.p99_floor_ms:
+            failures.append(f"p99 {report.latency_p99_ms:.2f} ms over the "
+                            f"{args.p99_floor_ms:.0f} ms floor")
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}")
+            return 1
+        print("serving checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,34 @@
-"""Setup shim so `pip install -e .` works without the wheel package.
+"""Package metadata and console entry points.
 
-All project metadata lives in pyproject.toml; this file only enables the
-legacy editable-install path (`--no-use-pep517`) in offline environments
-where the `wheel` package is unavailable.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so the legacy
+editable-install path (``pip install -e . --no-use-pep517``) works in
+offline environments where the ``wheel`` package is unavailable.
+
+The console scripts make the serving stack and the sweep runners
+launchable without ``PYTHONPATH`` gymnastics once the package is
+installed:
+
+* ``repro-serve``  — stand up an :class:`repro.serving.InferenceServer`
+  front end (``repro.serving.cli:serve_main``);
+* ``repro-sweep``  — run the serving scenario sweep
+  (``repro.analysis.serving_sweep:main``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="mercury-repro",
+    version="0.4.0",
+    description=("Reproduction of MERCURY (HPCA'23): accelerating DNN "
+                 "training and serving by exploiting input similarity"),
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-serve=repro.serving.cli:serve_main",
+            "repro-sweep=repro.analysis.serving_sweep:main",
+        ],
+    },
+)

@@ -6,7 +6,8 @@ from repro.analysis.similarity import (
     measure_unique_vectors,
     rpq_unique_vector_experiment,
 )
-from repro.analysis.reporting import format_table, geomean
+from repro.analysis.reporting import (format_rows, format_table, geomean,
+                                      render_results)
 from repro.analysis.grid import GridResults, expand_grid, run_grid
 from repro.analysis.sweep import (
     SweepPoint,
@@ -23,6 +24,13 @@ from repro.analysis.functional_sweep import (
     evaluate_functional_point,
     run_functional_sweep,
 )
+from repro.analysis.serving_sweep import (
+    ServingPoint,
+    ServingSweepResults,
+    build_serving_grid,
+    evaluate_serving_point,
+    run_serving_sweep,
+)
 
 __all__ = [
     "GridResults",
@@ -37,8 +45,15 @@ __all__ = [
     "measure_layer_similarity",
     "measure_unique_vectors",
     "rpq_unique_vector_experiment",
+    "format_rows",
     "format_table",
     "geomean",
+    "render_results",
+    "ServingPoint",
+    "ServingSweepResults",
+    "build_serving_grid",
+    "evaluate_serving_point",
+    "run_serving_sweep",
     "SweepPoint",
     "SweepResults",
     "build_grid",

@@ -1,4 +1,12 @@
-"""Plain-text table formatting and small statistics helpers."""
+"""Plain-text table formatting and small statistics helpers.
+
+Besides the generic :func:`format_table`, this module knows how to
+render every sweep-results envelope in the tree: :func:`render_results`
+dispatches on the results object's schema marker (``cycle-sweep``,
+``functional-sweep``, ``serving-sweep``) and selects the columns that
+matter for that family, so ``print(render_results(results))`` works for
+any sweep a CLI or notebook just ran or loaded from JSON.
+"""
 
 from __future__ import annotations
 
@@ -39,3 +47,49 @@ def format_table(headers, rows, float_format: str = "{:.3f}") -> str:
     lines = [render_line(headers), render_line(["-" * w for w in widths])]
     lines.extend(render_line(row) for row in rendered_rows)
     return "\n".join(lines)
+
+
+# Default column selections per results schema.  Missing keys render as
+# "-" so partially populated rows (or older files) still format.
+SCHEMA_COLUMNS = {
+    "cycle-sweep": ("model", "dataflow", "mcache_entries", "mcache_ways",
+                    "signature_bits", "speedup", "signature_fraction"),
+    "functional-sweep": ("model", "dataset_scale", "adaptation",
+                         "signature_bits", "accuracy_delta", "hit_fraction",
+                         "speedup"),
+    "serving-sweep": ("model", "traffic", "cache_policy", "batch_size",
+                      "hit_rate", "throughput_rps", "latency_p50_ms",
+                      "latency_p99_ms", "bit_identical_fraction",
+                      "max_abs_deviation"),
+    "grid": None,
+}
+
+
+def format_rows(rows, columns, float_format: str = "{:.3f}") -> str:
+    """Render dict rows as a table of the selected columns."""
+    table_rows = [[row.get(column, "-") for column in columns]
+                  for row in rows]
+    return format_table(columns, table_rows, float_format=float_format)
+
+
+def render_results(results, columns=None,
+                   float_format: str = "{:.3f}") -> str:
+    """Render a :class:`~repro.analysis.grid.GridResults` as a table.
+
+    Dispatches the column selection on the results' schema marker;
+    unknown schemas (and the base ``grid``) fall back to the union of
+    keys in row order of first appearance.  Pass ``columns`` to
+    override.
+    """
+    rows = results.rows
+    if columns is None:
+        columns = SCHEMA_COLUMNS.get(getattr(results, "schema", None))
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = tuple(seen)
+    if not rows:
+        return format_table(columns, [])
+    return format_rows(rows, columns, float_format=float_format)

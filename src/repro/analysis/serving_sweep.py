@@ -1,0 +1,278 @@
+"""Serving sweep: model × traffic × cache policy × batch size scenarios.
+
+The third sweep family, next to the cycle-model sweep
+(:mod:`repro.analysis.sweep`) and the training-accuracy sweep
+(:mod:`repro.analysis.functional_sweep`): each :class:`ServingPoint`
+names a model, a traffic pattern from the load generator, a cache
+configuration and a micro-batch size; evaluating it replays the
+deterministic trace through an :class:`~repro.serving.server.InferenceServer`
+and records
+
+* throughput and p50/p95/p99 latency (simulated queue wait + measured
+  compute),
+* request- and vector-level hit statistics,
+* output exactness against the engine-less per-request forward oracle
+  (bit-identical fraction and maximum absolute deviation).
+
+Rows share the :class:`~repro.analysis.grid.GridResults` JSON envelope
+under the ``serving-sweep`` schema marker, so serving files cannot be
+mistaken for cycle or functional sweeps.  ``repro-sweep`` (the
+``console_scripts`` entry) fronts :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import asdict, dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.analysis.functional_sweep import derive_seed
+from repro.analysis.grid import GridResults, expand_grid, run_grid
+from repro.models.registry import MODEL_NAMES, build_model, get_spec
+from repro.serving.batcher import BatcherConfig
+from repro.serving.engine import ServingPolicy
+from repro.serving.loadgen import (TRAFFIC_PATTERNS, TrafficConfig,
+                                   build_request_pool, generate_trace,
+                                   trace_summary)
+from repro.serving.server import InferenceServer
+
+# Cache-policy presets — the sweep's policy axis.  "exact" modes verify
+# payload equality before reuse; "trust" reuses on signature match
+# alone (the paper's approximate semantics, measured by the exactness
+# columns).
+CACHE_POLICIES = {
+    "none": dict(request_cache=False, vector_cache=False),
+    "request_exact": dict(request_cache=True, vector_cache=False,
+                          exact_check=True, compute="per_request"),
+    "request_batched": dict(request_cache=True, vector_cache=False,
+                            exact_check=True, compute="batched"),
+    "vector_exact": dict(request_cache=False, vector_cache=True,
+                         exact_check=True, compute="batched"),
+    "vector_trust": dict(request_cache=False, vector_cache=True,
+                         exact_check=False, compute="batched"),
+    "layered": dict(request_cache=True, vector_cache=True,
+                    exact_check=True, compute="batched"),
+}
+
+SERVING_RESULT_KEYS = frozenset({
+    "model", "traffic", "cache_policy", "batch_size", "num_requests",
+    "pool_size", "entries", "ways", "ttl_batches", "signature_bits",
+    "seed",
+    "throughput_rps", "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+    "hit_rate", "request_hit_rate", "vector_hit_rate",
+    "batches", "mean_batch_size",
+    "distinct_payloads", "top_key_share",
+    "bit_identical_fraction", "max_abs_deviation",
+    "compute_time_s", "elapsed_s",
+})
+
+# Derived-seed streams (mirrors functional_sweep's convention).
+MODEL_STREAM, POOL_STREAM, TRACE_STREAM = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """One serving scenario."""
+
+    model: str = "squeezenet"
+    traffic: str = "zipfian"
+    cache_policy: str = "request_exact"
+    batch_size: int = 8
+    num_requests: int = 200
+    pool_size: int = 24
+    entries: int = 4096
+    ways: int = 16
+    ttl_batches: int | None = None
+    signature_bits: int = 32
+    image_size: int = 12
+    max_wait_ms: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        get_spec(self.model)  # rejects unknown models early
+        if self.traffic not in TRAFFIC_PATTERNS:
+            raise ValueError(f"unknown traffic {self.traffic!r}; "
+                             f"choose from {TRAFFIC_PATTERNS}")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(f"unknown cache_policy {self.cache_policy!r}; "
+                             f"choose from {sorted(CACHE_POLICIES)}")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.num_requests <= 0 or self.pool_size <= 0:
+            raise ValueError("num_requests and pool_size must be positive")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+
+def build_serving_grid(models=("squeezenet",),
+                       traffics=TRAFFIC_PATTERNS,
+                       cache_policies=("none", "request_exact",
+                                       "vector_trust"),
+                       batch_sizes=(8,), seeds=(0,),
+                       **fixed) -> list[ServingPoint]:
+    """Cross product of the serving scenario axes."""
+    combos = expand_grid({"model": models, "traffic": traffics,
+                          "cache_policy": cache_policies,
+                          "batch_size": batch_sizes, "seed": seeds})
+    return [ServingPoint(**combo, **fixed) for combo in combos]
+
+
+def policy_for(point: ServingPoint) -> ServingPolicy:
+    return ServingPolicy(entries=point.entries, ways=point.ways,
+                         ttl_batches=point.ttl_batches,
+                         signature_bits=point.signature_bits,
+                         **CACHE_POLICIES[point.cache_policy])
+
+
+def serving_pieces(point: ServingPoint):
+    """(model, pool, trace, server) for one point, fully seed-derived."""
+    pool = build_request_pool(point.model, pool_size=point.pool_size,
+                              image_size=point.image_size,
+                              seed=derive_seed(point.seed, POOL_STREAM))
+    trace = generate_trace(
+        TrafficConfig(pattern=point.traffic,
+                      num_requests=point.num_requests,
+                      seed=derive_seed(point.seed, TRACE_STREAM)),
+        len(pool))
+    spec = get_spec(point.model)
+    num_outputs = 4 if spec.kind == "cnn" else None
+    model = build_model(point.model, num_classes=num_outputs,
+                        seed=derive_seed(point.seed, MODEL_STREAM))
+    server = InferenceServer(
+        model, policy_for(point),
+        BatcherConfig(max_batch_size=point.batch_size,
+                      max_wait_s=point.max_wait_ms / 1e3))
+    return model, pool, trace, server
+
+
+def evaluate_serving_point(point: ServingPoint) -> dict:
+    """Replay one scenario and measure throughput, latency, exactness."""
+    start = time.perf_counter()
+    _, pool, trace, server = serving_pieces(point)
+
+    outputs, report = server.replay(trace, pool)
+    oracle = server.oracle_outputs(pool)
+
+    identical = 0
+    max_deviation = 0.0
+    for request, output in zip(trace, outputs):
+        reference = oracle[request.pool_index]
+        if np.array_equal(output, reference):
+            identical += 1
+        deviation = float(np.max(np.abs(output - reference)))
+        max_deviation = max(max_deviation, deviation)
+
+    shape = trace_summary(trace)
+    row = dict(asdict(point))
+    row.update({
+        "throughput_rps": float(report.throughput_rps),
+        "latency_p50_ms": float(report.latency_p50_ms),
+        "latency_p95_ms": float(report.latency_p95_ms),
+        "latency_p99_ms": float(report.latency_p99_ms),
+        "hit_rate": float(report.hit_rate),
+        "request_hit_rate": float(
+            report.request_cache.get("hit_rate", 0.0)),
+        "vector_hit_rate": float(report.vector_cache.get("hit_rate", 0.0)),
+        "batches": int(report.batches),
+        "mean_batch_size": float(report.mean_batch_size),
+        "distinct_payloads": int(shape["distinct_payloads"]),
+        "top_key_share": float(shape["top_key_share"]),
+        "bit_identical_fraction": identical / len(trace),
+        "max_abs_deviation": max_deviation,
+        "compute_time_s": float(server._compute_time_s),
+        "layer_stats": report.layer_stats,
+        "elapsed_s": time.perf_counter() - start,
+    })
+    return row
+
+
+@dataclass
+class ServingSweepResults(GridResults):
+    """Aggregated serving rows; same JSON envelope family as the others."""
+
+    schema: ClassVar[str] = "serving-sweep"
+    result_keys: ClassVar[frozenset] = SERVING_RESULT_KEYS
+
+    # -- summaries ------------------------------------------------------
+    def hit_rate_by_policy(self) -> dict[str, float]:
+        rates: dict[str, list[float]] = {}
+        for row in self.rows:
+            rates.setdefault(row["cache_policy"], []).append(row["hit_rate"])
+        return {policy: float(np.mean(values))
+                for policy, values in rates.items()}
+
+    def summary(self) -> dict:
+        if not self.rows:
+            return {"points": 0, "elapsed_s": self.elapsed_s}
+        return {
+            "points": len(self.rows),
+            "elapsed_s": self.elapsed_s,
+            "mean_hit_rate": float(np.mean(
+                [row["hit_rate"] for row in self.rows])),
+            "hit_rate_by_policy": self.hit_rate_by_policy(),
+            "mean_throughput_rps": float(np.mean(
+                [row["throughput_rps"] for row in self.rows])),
+            "worst_p99_ms": float(max(
+                row["latency_p99_ms"] for row in self.rows)),
+            "max_abs_deviation": float(max(
+                row["max_abs_deviation"] for row in self.rows)),
+        }
+
+
+def run_serving_sweep(points, processes: int | None = None
+                      ) -> ServingSweepResults:
+    """Evaluate a serving grid through the shared fan-out executor."""
+    rows, elapsed = run_grid(list(points), evaluate_serving_point,
+                             processes=processes)
+    return ServingSweepResults(rows=rows, elapsed_s=elapsed)
+
+
+# ----------------------------------------------------------------------
+# CLI (the ``repro-sweep`` console script)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", nargs="+", default=["squeezenet"],
+                        choices=list(MODEL_NAMES), metavar="MODEL")
+    parser.add_argument("--traffics", nargs="+",
+                        default=list(TRAFFIC_PATTERNS),
+                        choices=list(TRAFFIC_PATTERNS), metavar="PATTERN")
+    parser.add_argument("--cache-policies", nargs="+",
+                        default=["none", "request_exact", "vector_trust"],
+                        choices=sorted(CACHE_POLICIES), metavar="POLICY")
+    parser.add_argument("--batch-sizes", nargs="+", type=int, default=[8])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--pool-size", type=int, default=24)
+    parser.add_argument("--seeds", nargs="+", type=int, default=[0])
+    parser.add_argument("--processes", type=int, default=None,
+                        help="pool size (0 = in-process)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON envelope to this path")
+    args = parser.parse_args(argv)
+
+    points = build_serving_grid(models=args.models, traffics=args.traffics,
+                                cache_policies=args.cache_policies,
+                                batch_sizes=args.batch_sizes,
+                                seeds=args.seeds,
+                                num_requests=args.requests,
+                                pool_size=args.pool_size)
+    print(f"serving sweep: {len(points)} points")
+    results = run_serving_sweep(points, processes=args.processes)
+
+    from repro.analysis.reporting import render_results
+    print(render_results(results))
+    summary = results.summary()
+    print(f"\nmean hit rate {summary['mean_hit_rate']:.2%}, "
+          f"mean throughput {summary['mean_throughput_rps']:.0f} rps, "
+          f"worst p99 {summary['worst_p99_ms']:.2f} ms")
+    if args.output:
+        results.save(args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,13 @@ class MercuryConfig:
     # a new channel is processed).  ``None`` hashes the whole
     # cross-channel patch in one signature.
     conv_channel_group: int | None = 1
+    # Service all channel groups of one convolution call through a
+    # single multi-group signature/group-by phase (one engine call)
+    # instead of one engine call per group.  Bit-identical to the
+    # per-call path — each group still probes a fresh MCACHE — and
+    # regression-tested so; ``False`` restores the per-call loop (the
+    # oracle for that test).
+    batch_channel_groups: bool = True
 
     # --- Accelerator ------------------------------------------------------
     dataflow: str = "row_stationary"

@@ -26,7 +26,8 @@ from repro.core.adaptation import SignatureLengthScheduler, SimilarityStoppage
 from repro.core.config import MercuryConfig
 from repro.core.differential import scalar_reference_simulation
 from repro.core.hitmap import Hitmap, HitState
-from repro.core.hitmap_sim import HitmapSimulation, simulate_hitmap
+from repro.core.hitmap_sim import (HitmapSimulation, simulate_hitmap,
+                                   simulate_hitmap_grouped)
 from repro.core.mcache_vec import VectorizedMCache
 from repro.core.rpq import RPQHasher
 from repro.core.signature import SignatureTable
@@ -200,6 +201,129 @@ class ReuseEngine:
                      unique=simulation.unique_signatures,
                      detection_on=True, signatures_reloaded=reloaded)
         return result
+
+    # ------------------------------------------------------------------
+    def matmul_groups(self, vectors_groups, weights_groups, *, layer: str,
+                      phase: str = "forward") -> list[np.ndarray]:
+        """Service several same-layer matmul calls in one signature phase.
+
+        ``vectors_groups[i] @ weights_groups[i]`` with signature reuse,
+        exactly as ``len(vectors_groups)`` successive :meth:`matmul`
+        calls would compute it — same results, statistics, MCACHE
+        counters and signature-table state, which the regression suite
+        asserts — but the Hitmap classification for all groups runs as
+        one multi-group group-by
+        (:func:`repro.core.hitmap_sim.simulate_hitmap_grouped`), so the
+        per-call overhead that dominated ``conv_channel_group=1`` runs
+        is paid once per layer call instead of once per channel group.
+        Each group still probes a fresh MCACHE: signatures never match,
+        and never steal ways, across groups.
+        """
+        groups = [np.asarray(vectors, dtype=np.float64)
+                  for vectors in vectors_groups]
+        weights_list = [np.asarray(weights, dtype=np.float64)
+                        for weights in weights_groups]
+        if len(groups) != len(weights_list):
+            raise ValueError("vectors_groups and weights_groups must pair up")
+        if phase != "forward" or len(groups) <= 1:
+            # Backward calls may reload signatures from the table, a
+            # stateful per-call interaction the batched phase does not
+            # model; delegate to the exact per-call path.
+            return [self.matmul(vectors, weights, layer=layer, phase=phase)
+                    for vectors, weights in zip(groups, weights_list)]
+        for vectors, weights in zip(groups, weights_list):
+            if vectors.ndim != 2 or weights.ndim != 2:
+                raise ValueError("matmul_groups expects 2D groups")
+            if vectors.shape[1] != weights.shape[0]:
+                raise ValueError(
+                    f"shape mismatch: vectors {vectors.shape} x "
+                    f"weights {weights.shape}")
+
+        if not self._detection_enabled(layer, phase):
+            results = []
+            for vectors, weights in zip(groups, weights_list):
+                results.append(vectors @ weights)
+                self._record(layer, phase, vectors=vectors.shape[0], hits=0,
+                             mau=0, mnu=vectors.shape[0],
+                             vector_length=vectors.shape[1],
+                             num_filters=weights.shape[1],
+                             unique=vectors.shape[0], detection_on=False)
+            return results
+
+        # The pure hasher path per group (identical to matmul's forward
+        # signature computation — projections are per-row, but hashing
+        # group by group keeps each gemm call bitwise identical to the
+        # per-call oracle).
+        signature_groups = [self.hasher.signatures(vectors,
+                                                   self.signature_bits)
+                            for vectors in groups]
+        simulations = self._build_hitmaps_grouped(signature_groups)
+
+        results = []
+        for vectors, weights, signatures, simulation in zip(
+                groups, weights_list, signature_groups, simulations):
+            num_vectors, vector_length = vectors.shape
+            num_filters = weights.shape[1]
+            if simulation.hits:
+                hit_mask = simulation.states == HitState.HIT
+                compute_mask = ~hit_mask
+                result = np.empty((num_vectors, num_filters),
+                                  dtype=np.float64)
+                result[compute_mask] = vectors[compute_mask] @ weights
+                result[hit_mask] = result[simulation.representative[hit_mask]]
+            else:
+                result = vectors @ weights
+            results.append(result)
+
+            # Per-group bookkeeping mirrors the per-call loop exactly:
+            # the table record is overwritten per group (last group
+            # wins), and statistics merge one call per group.
+            self.signature_table.store(layer, vector_length,
+                                       self.signature_bits, signatures,
+                                       simulation)
+            self.last_simulations[(layer, phase)] = simulation
+            self._record(layer, phase, vectors=num_vectors,
+                         hits=simulation.hits, mau=simulation.mau,
+                         mnu=simulation.mnu, vector_length=vector_length,
+                         num_filters=num_filters,
+                         unique=simulation.unique_signatures,
+                         detection_on=True, signatures_reloaded=False)
+        return results
+
+    def _build_hitmaps_grouped(self, signature_groups) -> list[HitmapSimulation]:
+        """One Hitmap per group, through the configured backend.
+
+        The vectorized and groupby backends share the multi-group
+        group-by; the scalar oracle replays its line-level model per
+        group.  All backends stay bit-identical to per-call simulation.
+        """
+        backend = self.config.mcache_backend
+        if backend == "scalar":
+            return [scalar_reference_simulation(
+                signatures, num_sets=self.config.mcache_sets,
+                ways=self.config.mcache_ways)
+                for signatures in signature_groups]
+        # One signature length is in force for the whole call, so the
+        # groups share a packed representation: all 1-D int64 or all
+        # multi-word 2-D with the same word count.
+        if signature_groups[0].ndim == 2:
+            stacked = np.vstack(signature_groups)
+        else:
+            stacked = np.concatenate(signature_groups)
+        simulations = simulate_hitmap_grouped(
+            stacked, [len(sigs) for sigs in signature_groups],
+            num_sets=self.config.mcache_sets, ways=self.config.mcache_ways,
+            signature_bits=self.signature_bits)
+        if backend == "vectorized":
+            # The persistent batch MCACHE's simulate() path is "clear,
+            # replay, accumulate counters"; mirror it so its stats
+            # characterise the run identically.
+            self.mcache.clear()
+            for simulation in simulations:
+                self.mcache.stats.hits += simulation.hits
+                self.mcache.stats.mau += simulation.mau
+                self.mcache.stats.mnu += simulation.mnu
+        return simulations
 
     # ------------------------------------------------------------------
     def _record(self, layer: str, phase: str, *, vectors: int, hits: int,

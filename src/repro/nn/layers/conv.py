@@ -112,13 +112,29 @@ class Conv2D(Module):
         cols3d = cols.reshape(num_vectors, self.in_channels, patch)
         weights3d = weight_matrix.reshape(self.in_channels, patch,
                                           self.out_channels)
-        out = np.zeros((num_vectors, self.out_channels), dtype=np.float64)
+        group_cols = []
+        group_weights = []
         for start in range(0, self.in_channels, group):
             stop = min(start + group, self.in_channels)
-            group_cols = cols3d[:, start:stop].reshape(num_vectors, -1)
-            group_weights = weights3d[start:stop].reshape(-1, self.out_channels)
-            out += self.engine.matmul(group_cols, group_weights,
-                                      layer=self.layer_name, phase="forward")
+            group_cols.append(cols3d[:, start:stop].reshape(num_vectors, -1))
+            group_weights.append(
+                weights3d[start:stop].reshape(-1, self.out_channels))
+
+        batched = (getattr(getattr(self.engine, "config", None),
+                           "batch_channel_groups", False)
+                   and hasattr(self.engine, "matmul_groups"))
+        if batched:
+            results = self.engine.matmul_groups(group_cols, group_weights,
+                                                layer=self.layer_name,
+                                                phase="forward")
+        else:
+            results = (self.engine.matmul(vectors, weights,
+                                          layer=self.layer_name,
+                                          phase="forward")
+                       for vectors, weights in zip(group_cols, group_weights))
+        out = np.zeros((num_vectors, self.out_channels), dtype=np.float64)
+        for result in results:
+            out += result
         return out
 
     def forward(self, x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,58 @@
+"""Reuse-aware inference serving.
+
+The training engine (:mod:`repro.core.reuse`) clears its MCACHE for
+every layer call — single-use batches, as the paper's training flow
+requires.  Serving inverts that: production traffic repeats, so the
+signature machinery pays off *across* requests.  This package provides
+
+* :class:`~repro.serving.engine.ServingPolicy` — admission/eviction
+  knobs (capacity geometry, TTL by batch age, per-layer enable, exact
+  collision checking) shared by both cache granularities;
+* :class:`~repro.serving.engine.SignatureResultCache` — a persistent
+  signature→result store on :class:`~repro.core.mcache_vec.VectorizedMCache`
+  whose state survives across batches;
+* :class:`~repro.serving.engine.ServingReuseEngine` — the per-layer
+  vector-granularity reuse engine a :class:`~repro.nn.module.Module`
+  attaches like the training engine;
+* :class:`~repro.serving.batcher.MicroBatcher` — the asyncio
+  micro-batching request queue with backpressure;
+* :class:`~repro.serving.server.InferenceServer` — the facade tying
+  model, caches and queue together (plus an optional stdlib HTTP front
+  end);
+* :mod:`~repro.serving.loadgen` — deterministic traffic generators
+  (uniform, bursty, hot-key/Zipfian).
+"""
+
+from repro.serving.batcher import BatcherConfig, MicroBatcher
+from repro.serving.engine import (
+    CacheCounters,
+    ServeOutcome,
+    ServingPolicy,
+    ServingReuseEngine,
+    SignatureResultCache,
+)
+from repro.serving.loadgen import (
+    TRAFFIC_PATTERNS,
+    Request,
+    TrafficConfig,
+    build_request_pool,
+    generate_trace,
+)
+from repro.serving.server import InferenceServer, ServingReport
+
+__all__ = [
+    "BatcherConfig",
+    "CacheCounters",
+    "InferenceServer",
+    "MicroBatcher",
+    "Request",
+    "ServeOutcome",
+    "ServingPolicy",
+    "ServingReport",
+    "ServingReuseEngine",
+    "SignatureResultCache",
+    "TRAFFIC_PATTERNS",
+    "TrafficConfig",
+    "build_request_pool",
+    "generate_trace",
+]

@@ -1,0 +1,194 @@
+"""Asyncio micro-batching request queue.
+
+Requests arrive one at a time; the accelerator-style backend wants
+whole batches (and the reuse caches get their intra-batch dedup from
+them).  :class:`MicroBatcher` sits between the two: ``submit`` enqueues
+a payload and awaits its result, while a single collector task drains
+the queue into batches bounded by ``max_batch_size`` and
+``max_wait_s`` — a full batch leaves immediately, a partial one leaves
+when its oldest request has waited long enough.  The queue itself is
+bounded (``max_queue``), so a slow backend exerts backpressure on
+producers instead of buffering without limit (the INFN-style
+queued-scale-out behaviour under bursty load: absorb, then drain).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Micro-batching knobs."""
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.002
+    max_queue: int = 1024
+
+    def __post_init__(self):
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s cannot be negative")
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+
+
+@dataclass
+class BatcherTelemetry:
+    """Latency/batch-shape measurements of one batcher lifetime."""
+
+    latencies_s: list = field(default_factory=list)
+    batch_sizes: list = field(default_factory=list)
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    def record_batch(self, size: int) -> None:
+        self.batch_sizes.append(size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+class _Pending:
+    __slots__ = ("payload", "future", "enqueued_at")
+
+    def __init__(self, payload, future, enqueued_at):
+        self.payload = payload
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Bounded queue + collector loop around a batch-processing callable.
+
+    ``process_batch(payloads: list) -> list`` is called with up to
+    ``max_batch_size`` payloads and must return one result per payload
+    in order; it runs inside the event loop (numpy work releases the
+    GIL quickly enough at this scale).  Exceptions fail every request
+    of the batch individually — the loop keeps serving.
+    """
+
+    def __init__(self, process_batch, config: BatcherConfig | None = None):
+        self.process_batch = process_batch
+        self.config = config or BatcherConfig()
+        self.telemetry = BatcherTelemetry()
+        self._queue: asyncio.Queue | None = None
+        self._collector: asyncio.Task | None = None
+        self._closed = False
+        # Submissions past the _closed check but not yet resolved.
+        # stop() must not cancel the collector while any exist: a put
+        # that lands after queue.join() would otherwise orphan its
+        # future forever.
+        self._inflight = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._collector is not None:
+            raise RuntimeError("batcher already started")
+        self._closed = False
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._collector = asyncio.get_running_loop().create_task(
+            self._collect())
+
+    async def stop(self) -> None:
+        """Drain in-flight submissions, then cancel the collector."""
+        if self._collector is None:
+            return
+        self._closed = True
+        # Wait for every admitted submission to resolve — not just the
+        # queue to empty: a submit suspended at its put() has nothing
+        # in the queue yet, and joining too early would strand it.
+        while self._inflight:
+            await asyncio.sleep(0)
+        await self._queue.join()
+        self._collector.cancel()
+        try:
+            await self._collector
+        except asyncio.CancelledError:
+            pass
+        self._collector = None
+        self._queue = None
+
+    @property
+    def running(self) -> bool:
+        return self._collector is not None
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (not yet collected)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # ------------------------------------------------------------------
+    async def submit(self, payload):
+        """Enqueue one payload and await its result.
+
+        Awaiting the bounded queue's ``put`` is the backpressure: when
+        ``max_queue`` requests are in flight, producers stall here.
+        """
+        if self._queue is None or self._closed:
+            raise RuntimeError("batcher is not running")
+        future = asyncio.get_running_loop().create_future()
+        pending = _Pending(payload, future, time.perf_counter())
+        self.telemetry.submitted += 1
+        self._inflight += 1
+        try:
+            await self._queue.put(pending)
+            return await future
+        finally:
+            self._inflight -= 1
+
+    # ------------------------------------------------------------------
+    async def _collect(self) -> None:
+        config = self.config
+        queue = self._queue
+        while True:
+            first = await queue.get()
+            batch = [first]
+            deadline = first.enqueued_at + config.max_wait_s
+            while len(batch) < config.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    # Deadline passed: take whatever is already queued,
+                    # without waiting for more.
+                    try:
+                        batch.append(queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                    continue
+                try:
+                    batch.append(await asyncio.wait_for(queue.get(),
+                                                        timeout=remaining))
+                except asyncio.TimeoutError:
+                    break
+            self._run_batch(batch)
+            for _ in batch:
+                queue.task_done()
+
+    def _run_batch(self, batch: list) -> None:
+        self.telemetry.record_batch(len(batch))
+        try:
+            results = self.process_batch([item.payload for item in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"process_batch returned {len(results)} results "
+                    f"for {len(batch)} payloads")
+        except Exception as error:  # noqa: BLE001 — fail requests, not loop
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(
+                        RuntimeError(f"batch processing failed: {error}"))
+            self.telemetry.failed += len(batch)
+            return
+        now = time.perf_counter()
+        for item, result in zip(batch, results):
+            self.telemetry.latencies_s.append(now - item.enqueued_at)
+            self.telemetry.completed += 1
+            if not item.future.done():
+                item.future.set_result(result)

@@ -1,0 +1,110 @@
+"""``repro-serve`` — the serving stack's console entry point.
+
+Stands up an :class:`~repro.serving.server.InferenceServer` for a model
+zoo entry and either replays a load-generator trace through it (the
+default; prints the telemetry report) or exposes the HTTP front end:
+
+    repro-serve --model squeezenet --traffic zipfian --requests 300
+    repro-serve --cache-policy layered --traffic bursty
+    repro-serve --http --port 8080 --serve-forever
+    repro-serve --http --requests 50     # drive the trace over HTTP
+
+Installed by ``setup.py`` (``console_scripts``); equally runnable as
+``python -m repro.serving.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+
+import numpy as np
+
+from repro.analysis.serving_sweep import (CACHE_POLICIES, ServingPoint,
+                                          serving_pieces)
+from repro.models.registry import MODEL_NAMES
+from repro.serving.loadgen import TRAFFIC_PATTERNS, trace_summary
+
+
+def _print_report(report) -> None:
+    print(f"served {report.requests} requests "
+          f"({report.throughput_rps:.0f} rps, {report.batches} "
+          f"micro-batches, mean size {report.mean_batch_size:.1f})")
+    print(f"hit rate {report.hit_rate:.2%}, latency p50 "
+          f"{report.latency_p50_ms:.2f} ms / p99 "
+          f"{report.latency_p99_ms:.2f} ms")
+
+
+def serve_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="squeezenet",
+                        choices=list(MODEL_NAMES))
+    parser.add_argument("--traffic", default="zipfian",
+                        choices=list(TRAFFIC_PATTERNS))
+    parser.add_argument("--cache-policy", default="request_exact",
+                        choices=sorted(CACHE_POLICIES))
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--pool-size", type=int, default=24)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--http", action="store_true",
+                        help="expose the stdlib HTTP front end")
+    parser.add_argument("--port", type=int, default=0,
+                        help="HTTP port (0 = ephemeral)")
+    parser.add_argument("--serve-forever", action="store_true",
+                        help="with --http: block until interrupted")
+    args = parser.parse_args(argv)
+
+    point = ServingPoint(model=args.model, traffic=args.traffic,
+                         cache_policy=args.cache_policy,
+                         batch_size=args.batch_size,
+                         num_requests=args.requests,
+                         pool_size=args.pool_size, seed=args.seed)
+    _, pool, trace, server = serving_pieces(point)
+    print(f"{args.model} behind a {args.cache_policy} cache; "
+          f"{args.traffic} trace "
+          f"({trace_summary(trace)['distinct_payloads']} distinct "
+          f"payloads)")
+
+    if not args.http:
+        _, report = server.replay(trace, pool)
+        _print_report(report)
+        return 0
+
+    front = server.serve_http(port=args.port)
+    print(f"HTTP front end at {front.url()} "
+          f"(POST /infer, GET /stats, GET /healthz)")
+    try:
+        if args.serve_forever:
+            try:
+                import time
+                while True:
+                    time.sleep(1)
+            except KeyboardInterrupt:
+                print("interrupted")
+            return 0
+        # Drive the trace through the HTTP door as a self-test.
+        for request in trace:
+            body = json.dumps(
+                {"inputs": np.asarray(
+                    pool[request.pool_index]).tolist()}).encode()
+            http_request = urllib.request.Request(
+                front.url("/infer"), data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(http_request, timeout=30):
+                pass
+        with urllib.request.urlopen(front.url("/stats"),
+                                    timeout=10) as response:
+            stats = json.load(response)
+        print(f"drove {args.requests} requests over HTTP: hit rate "
+              f"{stats['hit_rate']:.2%}, p99 "
+              f"{stats['latency_p99_ms']:.2f} ms")
+        return 0
+    finally:
+        front.stop()
+
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

@@ -1,0 +1,492 @@
+"""Cross-request reuse engines for inference serving.
+
+Training batches are single-use: the reuse engine flash-clears its
+MCACHE for every layer call, so similarity is only exploited *within* a
+batch.  Serving traffic is the opposite regime — many requests repeat
+(hot keys, retries, shared prefixes) — so here the
+signature-indexed result cache is *persistent*: its tags, data and
+access counters survive across micro-batches, and admission/eviction is
+governed by an explicit :class:`ServingPolicy`.
+
+Two granularities share one implementation
+(:class:`SignatureResultCache`, built on the batch probe/insert and
+data-phase machinery of
+:class:`~repro.core.mcache_vec.VectorizedMCache`):
+
+* **request** — the whole input is one vector; a hit serves the cached
+  network output without touching the model.  With ``exact_check`` the
+  stored payload is compared bit-for-bit, so a hit can only reuse the
+  output of an *identical* request: reuse is exact and the served
+  output is byte-identical to what the model would have produced for
+  that request (the golden determinism suite pins this).
+* **vector** — every layer routed through
+  :class:`ServingReuseEngine.matmul` probes a per-layer persistent
+  cache with its RPQ signatures, the serving analogue of the training
+  engine's Hitmap phase.  Hits copy dot-product rows computed in
+  *earlier* batches; telemetry mirrors the training
+  :class:`~repro.core.stats.ReuseStats` per layer.
+
+A note on exactness: copying a row that an identical vector produced in
+an earlier batch is numerically exact reuse, but BLAS kernels choose
+different reduction orders for different matrix shapes, so a reused row
+and a freshly computed row in a *differently shaped* batch may differ
+in the last bits (~1e-16 relative).  The serving sweep therefore
+measures output deviation against an engine-less oracle per scenario;
+bit-identity is guaranteed (and regression-tested) for the
+request-granularity exact configuration with per-request compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hitmap import HitState
+from repro.core.mcache_vec import VectorizedMCache
+from repro.core.rpq import RPQHasher, unique_signatures
+from repro.core.stats import ReuseStats
+
+
+@dataclass(frozen=True)
+class ServingPolicy:
+    """Admission/eviction policy of the serving caches.
+
+    ``entries``/``ways`` give the MCACHE geometry: capacity is enforced
+    the paper's way — no replacement; a signature whose set is full is
+    computed every time (MNU).  ``ttl_batches`` bounds entry age: a hit
+    on an entry inserted more than that many micro-batches ago is
+    *refreshed* — recomputed and rewritten in place with its age reset —
+    so stale traffic cannot pin results forever.  ``layers`` restricts
+    vector-granularity reuse to layers whose name contains one of the
+    given substrings (``None`` = every routed layer).
+    """
+
+    # Which caches are active.
+    request_cache: bool = True
+    vector_cache: bool = False
+    # Signature / capacity knobs (shared by both granularities).
+    signature_bits: int = 32
+    entries: int = 4096
+    ways: int = 16
+    ttl_batches: int | None = None
+    # Collision safety: verify the stored payload equals the incoming
+    # one before serving a hit; mismatches are demoted to computes.
+    exact_check: bool = True
+    # Vector-granularity scope.
+    layers: tuple[str, ...] | None = None
+    # Convolution signature granularity for the vector cache (``None``
+    # hashes the whole cross-channel patch — the natural serving choice,
+    # where whole-input repeats dominate).
+    conv_channel_group: int | None = None
+    # How cache misses are computed by the server: "batched" forwards
+    # all missing requests of a micro-batch in one stacked call (fast);
+    # "per_request" forwards them one by one, which makes every output
+    # independent of micro-batch composition and therefore bitwise
+    # reproducible against the per-request oracle.
+    compute: str = "batched"
+    rpq_seed: int = 1234
+
+    def __post_init__(self):
+        if self.signature_bits <= 0:
+            raise ValueError("signature_bits must be positive")
+        if self.entries <= 0 or self.ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if self.entries % self.ways != 0:
+            raise ValueError("entries must be divisible by ways")
+        if self.ttl_batches is not None and self.ttl_batches <= 0:
+            raise ValueError("ttl_batches must be positive (or None)")
+        if self.compute not in ("batched", "per_request"):
+            raise ValueError(f"unknown compute mode {self.compute!r}")
+
+    def replace(self, **changes) -> "ServingPolicy":
+        from dataclasses import replace as dc_replace
+        return dc_replace(self, **changes)
+
+
+@dataclass
+class CacheCounters:
+    """Row-level outcome counters of one :class:`SignatureResultCache`."""
+
+    requests: int = 0          # rows probed
+    cross_hits: int = 0        # rows served from an earlier batch's entry
+    intra_hits: int = 0        # duplicate rows within one batch
+    computed: int = 0          # rows actually multiplied/forwarded
+    inserted: int = 0          # computed rows admitted into the cache
+    rejected: int = 0          # computed rows whose set was full (MNU)
+    expired: int = 0           # hits demoted by TTL (entry refreshed)
+    collisions: int = 0        # exact-check demotions (signature aliasing)
+
+    @property
+    def hits(self) -> int:
+        return self.cross_hits + self.intra_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        return {"requests": self.requests, "cross_hits": self.cross_hits,
+                "intra_hits": self.intra_hits, "computed": self.computed,
+                "inserted": self.inserted, "rejected": self.rejected,
+                "expired": self.expired, "collisions": self.collisions,
+                "hit_rate": self.hit_rate}
+
+
+class SignatureResultCache:
+    """Persistent signature→result store shared across micro-batches.
+
+    One instance serves one stream of equal-length vectors (a request
+    payload shape, or one layer's input vectors).  Probing, admission
+    and the result store ride on the persistent batch machinery of
+    :class:`~repro.core.mcache_vec.VectorizedMCache`
+    (``lookup_or_insert_batch`` + the data phase), so capacity behaves
+    exactly like the hardware structure: set-associative, no
+    replacement.
+    """
+
+    def __init__(self, policy: ServingPolicy, hasher: RPQHasher | None = None):
+        self.policy = policy
+        self.hasher = hasher or RPQHasher(seed=policy.rpq_seed)
+        self.mcache = VectorizedMCache(entries=policy.entries,
+                                       ways=policy.ways)
+        self.counters = CacheCounters()
+        # entry id -> micro-batch index of (re)insertion, densely grown
+        # alongside the MCACHE's entry ids.
+        self._entry_batch = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _grow_entry_batches(self, batch_index: int) -> None:
+        missing = self.mcache._next_entry_id - len(self._entry_batch)
+        if missing > 0:
+            self._entry_batch = np.concatenate(
+                [self._entry_batch,
+                 np.full(missing, batch_index, dtype=np.int64)])
+
+    def serve(self, vectors: np.ndarray, compute, batch_index: int
+              ) -> tuple[np.ndarray, "ServeOutcome"]:
+        """Return one result row per input row, reusing where possible.
+
+        ``compute(first_indices)`` receives the row indices (into
+        ``vectors``) of the unique inputs that need computing and must
+        return one result row per index, in order.  Cached rows are
+        served without calling it; duplicates within the batch share
+        one computation.  Returns ``(rows, outcome)`` where ``outcome``
+        details this call's reuse decisions.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError("serve expects 2D (rows, features) vectors")
+        num_rows = len(vectors)
+        counters = self.counters
+        counters.requests += num_rows
+        if num_rows == 0:
+            return np.empty((0, 0)), ServeOutcome()
+
+        signatures = self.hasher.signatures(vectors,
+                                            self.policy.signature_bits)
+        uniques, first_index, inverse = unique_signatures(signatures)
+        num_unique = len(uniques)
+        states, entry_ids = self.mcache.lookup_or_insert_batch(uniques)
+        self._grow_entry_batches(batch_index)
+
+        # Intra-batch aliasing: with ``exact_check`` a row may only
+        # share its signature group's result if it *equals* the group's
+        # first occurrence — a colliding (similar-but-different) row is
+        # computed on its own instead.  Without the check, signature
+        # trust applies within the batch exactly as it does across
+        # batches: that is MERCURY's approximate-reuse semantics.
+        if self.policy.exact_check:
+            aliased = ~(vectors == vectors[first_index[inverse]]).all(axis=1)
+            counters.collisions += int(aliased.sum())
+        else:
+            aliased = np.zeros(num_rows, dtype=bool)
+
+        resident = states == HitState.HIT          # existed before batch
+        inserted = states == HitState.MAU          # claimed a line now
+        rejected = states == HitState.MNU          # set full, no entry
+
+        # Which resident entries may serve their stored result?
+        reusable = resident.copy()
+        refresh = np.zeros(num_unique, dtype=bool)
+        if resident.any():
+            res_idx = np.flatnonzero(resident)
+            res_entries = entry_ids[res_idx]
+            valid = self.mcache.has_data_batch(res_entries)
+            if self.policy.ttl_batches is not None:
+                age = batch_index - self._entry_batch[res_entries]
+                expired = age > self.policy.ttl_batches
+                counters.expired += int(expired.sum())
+                valid &= ~expired
+            stale = res_idx[~valid]
+            reusable[stale] = False
+            refresh[stale] = True
+            if self.policy.exact_check and valid.any():
+                live = res_idx[valid]
+                stored = self.mcache.read_data_batch(entry_ids[live])
+                match = np.fromiter(
+                    (np.array_equal(payload, vectors[row])
+                     for (payload, _), row in zip(stored,
+                                                  first_index[live])),
+                    dtype=bool, count=len(live))
+                collided = live[~match]
+                counters.collisions += len(collided)
+                reusable[collided] = False
+
+        needs_compute = ~reusable
+        aliased_rows = np.flatnonzero(aliased)
+        group_rows = first_index[needs_compute]
+        compute_rows = np.concatenate([group_rows, aliased_rows]) \
+            if len(aliased_rows) else group_rows
+        computed = None
+        if len(compute_rows):
+            computed = np.asarray(compute(compute_rows), dtype=np.float64)
+            if computed.ndim != 2 or len(computed) != len(compute_rows):
+                raise ValueError("compute must return one row per index")
+
+        # Assemble per-unique results: reused rows from the store,
+        # computed rows from the caller.
+        width = computed.shape[1] if computed is not None else \
+            self._stored_width(entry_ids, reusable)
+        unique_rows = np.empty((num_unique, width), dtype=np.float64)
+        if reusable.any():
+            reuse_idx = np.flatnonzero(reusable)
+            stored = self.mcache.read_data_batch(entry_ids[reuse_idx])
+            for position, value in zip(reuse_idx, stored):
+                unique_rows[position] = value[1] if self.policy.exact_check \
+                    else value
+        if computed is not None:
+            unique_rows[needs_compute] = computed[:len(group_rows)]
+
+        # Admit fresh computations: newly claimed lines and refreshed
+        # (expired / data-invalidated) residents.  Collisions keep the
+        # original owner's payload (first-writer-wins); rejected
+        # signatures have no line to write.
+        admit = np.flatnonzero(inserted | refresh)
+        if len(admit):
+            values = np.empty(len(admit), dtype=object)
+            for slot, unique_pos in enumerate(admit):
+                row = np.array(unique_rows[unique_pos], copy=True)
+                if self.policy.exact_check:
+                    payload = np.array(vectors[first_index[unique_pos]],
+                                       copy=True)
+                    values[slot] = (payload, row)
+                else:
+                    values[slot] = row
+            self.mcache.write_data_batch(entry_ids[admit], values)
+            self._entry_batch[entry_ids[admit]] = batch_index
+
+        results = unique_rows[inverse]
+        if len(aliased_rows):
+            results[aliased_rows] = computed[len(group_rows):]
+
+        # Row-level accounting (aliased rows are computes, not hits).
+        is_first = np.zeros(num_rows, dtype=bool)
+        is_first[first_index] = True
+        row_cross = reusable[inverse] & ~aliased
+        row_intra = needs_compute[inverse] & ~is_first & ~aliased
+        outcome = ServeOutcome(
+            rows=num_rows,
+            unique=num_unique,
+            cross_hit_rows=int(row_cross.sum()),
+            intra_hit_rows=int(row_intra.sum()),
+            aliased_rows=int(aliased.sum()),
+            reused_unique=int(reusable.sum()),
+            computed_unique=int(needs_compute.sum()),
+            inserted_unique=int(inserted.sum()),
+            rejected_unique=int(rejected.sum()))
+        counters.cross_hits += outcome.cross_hit_rows
+        counters.intra_hits += outcome.intra_hit_rows
+        counters.computed += outcome.computed_unique + outcome.aliased_rows
+        counters.inserted += outcome.inserted_unique
+        counters.rejected += outcome.rejected_unique
+
+        return results, outcome
+
+    def _stored_width(self, entry_ids, reusable) -> int:
+        reuse_idx = np.flatnonzero(reusable)
+        if not len(reuse_idx):
+            return 0
+        first = self.mcache.read_data_batch(entry_ids[reuse_idx[:1]])[0]
+        return len(first[1]) if self.policy.exact_check else len(first)
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return self.mcache.occupancy()
+
+    def clear(self) -> None:
+        self.mcache.clear()
+        self._entry_batch = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class ServeOutcome:
+    """Reuse decisions of one :meth:`SignatureResultCache.serve` call."""
+
+    rows: int = 0
+    unique: int = 0
+    cross_hit_rows: int = 0
+    intra_hit_rows: int = 0
+    aliased_rows: int = 0
+    reused_unique: int = 0
+    computed_unique: int = 0
+    inserted_unique: int = 0
+    rejected_unique: int = 0
+
+    @property
+    def hit_rows(self) -> int:
+        return self.cross_hit_rows + self.intra_hit_rows
+
+
+class ServingReuseEngine:
+    """Per-layer cross-batch reuse engine for inference forwards.
+
+    Drop-in for the training engine's ``matmul`` protocol (so any
+    :class:`~repro.nn.module.Module` attaches it via ``set_engine``),
+    but forward-only and *persistent*: each (layer, vector length)
+    stream owns a :class:`SignatureResultCache` whose state survives
+    across micro-batches.  Call :meth:`end_batch` once per micro-batch
+    to advance the TTL clock.
+    """
+
+    def __init__(self, policy: ServingPolicy | None = None):
+        self.policy = policy or ServingPolicy(vector_cache=True)
+        # ``config`` mirrors the training engine's attribute so layers
+        # discover the convolution signature granularity the same way.
+        self.config = self.policy
+        self.hasher = RPQHasher(seed=self.policy.rpq_seed)
+        self.stats = ReuseStats()
+        self.batch_index = 0
+        self._caches: dict[tuple[str, int], SignatureResultCache] = {}
+        # The weights operand each stream was populated against.  A
+        # cached row is only valid while the layer multiplies by the
+        # same matrix; layers that pass data-dependent weights (e.g. an
+        # attention score matmul against the batch itself) present a
+        # fresh array every call, which this identity check turns into
+        # a permanent exact bypass instead of wrong reuse.  (In-place
+        # mutation of a parameter while serving is not detectable at
+        # this cost — freeze weights, or build a new engine after an
+        # update.)
+        self._stream_weights: dict[tuple[str, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _layer_enabled(self, layer: str) -> bool:
+        patterns = self.policy.layers
+        if patterns is None:
+            return True
+        return any(pattern in layer for pattern in patterns)
+
+    def _weights_stable(self, layer: str, vector_length: int,
+                        weights: np.ndarray) -> bool:
+        """Whether this stream still multiplies by its original matrix.
+
+        The first call pins the weights array (or its base, so cached
+        zero-copy views of one parameter keep matching); any later call
+        with a *different* array — a data-dependent operand — empties
+        the stream's cache and disables reuse for the call.
+        """
+        key = (layer, vector_length)
+        anchor = weights if weights.base is None else weights.base
+        pinned = self._stream_weights.get(key)
+        if pinned is None:
+            self._stream_weights[key] = anchor
+            return True
+        if pinned is anchor:
+            return True
+        cache = self._caches.get(key)
+        if cache is not None:
+            cache.clear()
+        return False
+
+    def cache_for(self, layer: str, vector_length: int
+                  ) -> SignatureResultCache:
+        key = (layer, vector_length)
+        cache = self._caches.get(key)
+        if cache is None:
+            cache = SignatureResultCache(self.policy, hasher=self.hasher)
+            self._caches[key] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    def matmul(self, vectors: np.ndarray, weights: np.ndarray, *,
+               layer: str, phase: str = "forward") -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if vectors.ndim != 2 or weights.ndim != 2:
+            raise ValueError("matmul expects 2D vectors and weights")
+        if vectors.shape[1] != weights.shape[0]:
+            raise ValueError(
+                f"shape mismatch: vectors {vectors.shape} x "
+                f"weights {weights.shape}")
+        num_vectors, vector_length = vectors.shape
+        num_filters = weights.shape[1]
+        if num_vectors == 0:
+            return vectors @ weights
+
+        if (phase != "forward" or not self._layer_enabled(layer)
+                or not self._weights_stable(layer, vector_length, weights)):
+            result = vectors @ weights
+            record = self.stats.record_for(layer, phase)
+            record.merge_call(vectors=num_vectors, hits=0, mau=0,
+                              mnu=num_vectors, vector_length=vector_length,
+                              num_filters=num_filters, signature_bits=0,
+                              unique_signatures=num_vectors,
+                              detection_on=False)
+            return result
+
+        cache = self.cache_for(layer, vector_length)
+        result, outcome = cache.serve(
+            vectors,
+            lambda rows: vectors[rows] @ weights,
+            self.batch_index)
+
+        # Map the serving outcome onto the training-stats vocabulary:
+        # every reused row (cross-batch or intra-batch duplicate) is a
+        # HIT, computed-and-admitted uniques are MAU, computed uniques
+        # without a line (set full / collision / refresh) are MNU.
+        record = self.stats.record_for(layer, phase)
+        record.merge_call(
+            vectors=num_vectors,
+            hits=outcome.hit_rows,
+            mau=outcome.inserted_unique,
+            mnu=(outcome.computed_unique - outcome.inserted_unique
+                 + outcome.aliased_rows),
+            vector_length=vector_length, num_filters=num_filters,
+            signature_bits=self.policy.signature_bits,
+            unique_signatures=outcome.unique,
+            detection_on=True)
+        return result
+
+    # ------------------------------------------------------------------
+    def end_batch(self) -> None:
+        """Advance the TTL clock; call once per processed micro-batch."""
+        self.batch_index += 1
+
+    def end_iteration(self, loss: float | None = None) -> None:
+        """Interface parity with the training engines (no adaptation)."""
+        self.end_batch()
+
+    # ------------------------------------------------------------------
+    def counters(self) -> CacheCounters:
+        """Aggregate row counters across every per-layer cache."""
+        total = CacheCounters()
+        for cache in self._caches.values():
+            for name, value in vars(cache.counters).items():
+                setattr(total, name, getattr(total, name) + value)
+        return total
+
+    def layer_summary(self) -> list[dict]:
+        """JSON-safe per-(layer, phase) reuse telemetry."""
+        rows = []
+        for record in self.stats.all_records():
+            rows.append({"layer": record.layer, "phase": record.phase,
+                         "vectors": int(record.total_vectors),
+                         "hits": int(record.hits),
+                         "hit_fraction": float(record.hit_fraction),
+                         "detection_on":
+                             bool(record.similarity_detection_on)})
+        return rows
+
+    def occupancy(self) -> dict[str, int]:
+        return {f"{layer}:{length}": cache.occupancy()
+                for (layer, length), cache in self._caches.items()}

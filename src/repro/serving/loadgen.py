@@ -1,0 +1,165 @@
+"""Deterministic traffic generation for serving experiments.
+
+A trace is a list of :class:`Request` records — arrival time plus an
+index into a fixed *request pool* (the distinct payloads production
+traffic would draw from).  Every random draw comes from streams derived
+with :class:`numpy.random.SeedSequence`, so a (pattern, seed) pair
+fully determines the trace: the golden serving suite replays one and
+pins its hit statistics.
+
+Three patterns span the scenario-diversity axis of the serving sweep:
+
+* ``uniform`` — Poisson arrivals, uniform popularity: repeats only by
+  the birthday effect of a finite pool;
+* ``bursty`` — on/off modulated arrivals (burst factor × base rate
+  inside bursts, idle gaps between): stresses the micro-batcher and
+  queue depth;
+* ``zipfian`` — Poisson arrivals, Zipf-distributed popularity (the
+  hot-key regime of production serving): a few payloads dominate, so
+  cross-request reuse is high.  The Zipf draw is a cumulative-weight
+  inversion, not :meth:`numpy.random.Generator.zipf`, so traces stay
+  stable across numpy versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic_images import ClusteredImageDataset, \
+    ImageDatasetConfig
+from repro.data.synthetic_text import TranslationConfig, TranslationDataset
+from repro.models.registry import get_spec
+
+TRAFFIC_PATTERNS = ("uniform", "bursty", "zipfian")
+
+# Sub-stream ids under the trace seed, one per randomness consumer.
+_ARRIVAL_STREAM, _POPULARITY_STREAM, _POOL_STREAM = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """One traffic scenario."""
+
+    pattern: str = "zipfian"
+    num_requests: int = 200
+    rate_rps: float = 2000.0
+    # Zipf popularity exponent (zipfian pattern).
+    zipf_exponent: float = 1.1
+    # Bursty pattern: arrival rate multiplier inside bursts and the
+    # number of requests per burst/idle phase.
+    burst_factor: float = 8.0
+    burst_length: int = 16
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.pattern not in TRAFFIC_PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}; "
+                             f"choose from {TRAFFIC_PATTERNS}")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if self.burst_length <= 0:
+            raise ValueError("burst_length must be positive")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One trace entry: when it arrives and which pool payload it is."""
+
+    index: int
+    arrival_s: float
+    pool_index: int
+
+
+def _stream(seed: int, stream: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed, stream]))
+
+
+def build_request_pool(model: str = "squeezenet", pool_size: int = 32,
+                       image_size: int = 12, seed: int = 0) -> np.ndarray:
+    """The distinct payloads a scenario draws from.
+
+    CNN models get clustered synthetic images (repeats *within* the
+    pool's patch space add vector-level similarity on top of the
+    request-level repeats); the transformer gets token sequences.
+    Deterministic in ``(model kind, pool_size, image_size, seed)``.
+    """
+    if pool_size <= 0:
+        raise ValueError("pool_size must be positive")
+    pool_seed = int(_stream(seed, _POOL_STREAM).integers(0, 2 ** 31))
+    if get_spec(model).kind == "cnn":
+        classes = max(2, min(pool_size, 4))
+        per_class = -(-pool_size // classes)
+        dataset = ClusteredImageDataset(ImageDatasetConfig(
+            num_classes=classes, samples_per_class=per_class,
+            image_size=image_size, seed=pool_seed))
+        return dataset.images[:pool_size]
+    config = TranslationConfig(num_samples=pool_size, seed=pool_seed)
+    return TranslationDataset(config).sources[:pool_size]
+
+
+def _zipf_weights(pool_size: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, pool_size + 1, dtype=np.float64)
+    weights = ranks ** -exponent
+    return weights / weights.sum()
+
+
+def _pool_indices(config: TrafficConfig, pool_size: int) -> np.ndarray:
+    rng = _stream(config.seed, _POPULARITY_STREAM)
+    if config.pattern == "zipfian":
+        # Inverse-CDF draw over explicit weights: version-stable and
+        # bounded by the pool (np.random's zipf is unbounded).
+        cdf = np.cumsum(_zipf_weights(pool_size, config.zipf_exponent))
+        draws = rng.random(config.num_requests)
+        return np.searchsorted(cdf, draws, side="right").clip(0,
+                                                              pool_size - 1)
+    return rng.integers(0, pool_size, size=config.num_requests)
+
+
+def _arrival_times(config: TrafficConfig) -> np.ndarray:
+    rng = _stream(config.seed, _ARRIVAL_STREAM)
+    mean_gap = 1.0 / config.rate_rps
+    gaps = rng.exponential(mean_gap, size=config.num_requests)
+    if config.pattern == "bursty":
+        # Alternate burst (compressed gaps) and idle (stretched gaps)
+        # phases of ``burst_length`` requests each.  The idle stretch is
+        # ``2 - 1/f`` so the expected gap stays ``mean_gap`` — the
+        # offered load matches ``rate_rps`` — while the instantaneous
+        # rate swings by a factor of ``f * (2 - 1/f) ≈ 2f`` between
+        # phases.
+        phase = (np.arange(config.num_requests)
+                 // config.burst_length) % 2 == 0
+        idle_stretch = 2.0 - 1.0 / config.burst_factor
+        gaps = np.where(phase, gaps / config.burst_factor,
+                        gaps * idle_stretch)
+    return np.cumsum(gaps)
+
+
+def generate_trace(config: TrafficConfig, pool_size: int) -> list[Request]:
+    """The full request trace of one scenario, in arrival order."""
+    indices = _pool_indices(config, pool_size)
+    arrivals = _arrival_times(config)
+    return [Request(index=i, arrival_s=float(arrivals[i]),
+                    pool_index=int(indices[i]))
+            for i in range(config.num_requests)]
+
+
+def trace_summary(trace: list[Request]) -> dict:
+    """Shape statistics of a trace (distinct payloads, top-key share)."""
+    indices = np.array([request.pool_index for request in trace])
+    counts = np.bincount(indices)
+    counts = counts[counts > 0]
+    return {
+        "requests": len(trace),
+        "distinct_payloads": int(len(counts)),
+        "top_key_share": float(counts.max() / len(trace)) if len(trace)
+        else 0.0,
+        "duration_s": float(trace[-1].arrival_s) if trace else 0.0,
+    }

@@ -1,0 +1,450 @@
+"""The inference-serving facade.
+
+:class:`InferenceServer` ties the pieces together: a trained
+:class:`~repro.nn.module.Module`, the optional request-granularity
+output cache, the optional per-layer
+:class:`~repro.serving.engine.ServingReuseEngine`, and the
+:class:`~repro.serving.batcher.MicroBatcher` front door.  Three ways to
+drive it:
+
+* :meth:`serve_trace` — push a load-generator trace through the real
+  asyncio queue (optionally in real time), measuring wall-clock
+  latency;
+* :meth:`replay` — a deterministic single-server replay of the same
+  batching discipline on a simulated clock: batch compositions (and
+  therefore every cache decision) depend only on the trace, which is
+  what the sweep grid and the golden suite need;
+* :meth:`serve_http` — a stdlib HTTP front end (JSON in/out) for
+  driving the server from outside the process.
+
+:meth:`oracle_outputs` provides the exactness reference: the same
+weights, engines detached, every request forwarded alone.  With the
+request cache in ``exact_check`` mode and ``compute="per_request"``,
+served outputs are byte-identical to that oracle — reuse only ever
+copies an output the oracle computation produced for an identical
+payload.  (Batched compute trades that guarantee for throughput: BLAS
+reduction orders vary with batch shape, so outputs match the oracle
+only to ~1e-13; the sweep records the measured deviation.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.batcher import BatcherConfig, MicroBatcher
+from repro.serving.engine import (ServingPolicy, ServingReuseEngine,
+                                  SignatureResultCache)
+from repro.serving.loadgen import Request
+
+
+@dataclass
+class ServingReport:
+    """Aggregate telemetry of one served trace."""
+
+    requests: int = 0
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    duration_s: float = 0.0
+    throughput_rps: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_mean_ms: float = 0.0
+    request_cache: dict = field(default_factory=dict)
+    vector_cache: dict = field(default_factory=dict)
+    layer_stats: list = field(default_factory=list)
+    hit_rate: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests, "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "request_cache": self.request_cache,
+            "vector_cache": self.vector_cache,
+            "layer_stats": self.layer_stats,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _percentiles_ms(latencies_s) -> dict:
+    if not len(latencies_s):
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0}
+    arr = np.asarray(latencies_s, dtype=np.float64) * 1e3
+    return {"p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "mean": float(arr.mean())}
+
+
+class InferenceServer:
+    """Serve a trained model with cross-request computation reuse."""
+
+    def __init__(self, model, policy: ServingPolicy | None = None,
+                 batcher: BatcherConfig | None = None):
+        self.model = model
+        self.policy = policy or ServingPolicy()
+        self.batcher_config = batcher or BatcherConfig()
+        model.eval()
+
+        self.vector_engine = None
+        if self.policy.vector_cache:
+            self.vector_engine = ServingReuseEngine(self.policy)
+        model.set_engine(self.vector_engine)
+
+        self.request_cache = None
+        if self.policy.request_cache:
+            self.request_cache = SignatureResultCache(self.policy)
+
+        self._batcher = MicroBatcher(self._process_batch,
+                                     self.batcher_config)
+        self._batch_index = 0
+        self._batch_count = 0
+        self._output_tail: tuple | None = None
+        self._compute_time_s = 0.0
+        self._started_at = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Synchronous batch path
+    # ------------------------------------------------------------------
+    def _forward_rows(self, payloads: np.ndarray) -> np.ndarray:
+        """Model outputs for a stack of payloads, flattened per request."""
+        start = time.perf_counter()
+        if self.policy.compute == "per_request":
+            outputs = np.stack([self.model(payload[None])[0]
+                                for payload in payloads]) \
+                if len(payloads) else np.empty((0,))
+        else:
+            outputs = self.model(payloads)
+        self._compute_time_s += time.perf_counter() - start
+        outputs = np.asarray(outputs, dtype=np.float64)
+        self._output_tail = outputs.shape[1:]
+        return outputs.reshape(len(payloads), -1)
+
+    def _process_batch(self, payloads: list) -> list:
+        """One micro-batch through the caches and the model."""
+        stacked = np.stack([np.asarray(p) for p in payloads])
+        if self.request_cache is not None:
+            flat = np.asarray(stacked, dtype=np.float64).reshape(
+                len(stacked), -1)
+            rows, _ = self.request_cache.serve(
+                flat, lambda indices: self._forward_rows(stacked[indices]),
+                self._batch_index)
+        else:
+            rows = self._forward_rows(stacked)
+        if self.vector_engine is not None:
+            self.vector_engine.end_batch()
+        self._batch_index += 1
+        self._batch_count += 1
+        tail = self._output_tail or (rows.shape[1],)
+        return [row.reshape(tail) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Async front door
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await self._batcher.start()
+
+    async def stop(self) -> None:
+        await self._batcher.stop()
+
+    async def infer(self, payload):
+        """Serve one request through the micro-batching queue."""
+        return await self._batcher.submit(payload)
+
+    def serve_trace(self, trace: list[Request], pool: np.ndarray,
+                    realtime: bool = False, time_scale: float = 1.0
+                    ) -> tuple[list, ServingReport]:
+        """Drive a load-generator trace through the asyncio queue.
+
+        With ``realtime`` each request is submitted at its (scaled)
+        arrival offset, exercising the max-wait path of the batcher;
+        otherwise everything is enqueued as fast as the bounded queue
+        admits it (the saturation regime).  Returns the per-request
+        outputs in trace order plus a wall-clock report.
+        """
+        start = time.perf_counter()
+
+        async def _drive():
+            await self.start()
+            try:
+                origin = asyncio.get_running_loop().time()
+
+                async def one(request: Request):
+                    if realtime:
+                        offset = request.arrival_s * time_scale
+                        delay = offset - (asyncio.get_running_loop().time()
+                                          - origin)
+                        if delay > 0:
+                            await asyncio.sleep(delay)
+                    return await self.infer(pool[request.pool_index])
+
+                return await asyncio.gather(*(one(r) for r in trace))
+            finally:
+                await self.stop()
+
+        outputs = asyncio.run(_drive())
+        duration = time.perf_counter() - start
+        telemetry = self._batcher.telemetry
+        return outputs, self._report(len(trace), duration,
+                                     telemetry.latencies_s[-len(trace):])
+
+    # ------------------------------------------------------------------
+    # Deterministic replay (simulated clock, same batching discipline)
+    # ------------------------------------------------------------------
+    def replay(self, trace: list[Request], pool: np.ndarray
+               ) -> tuple[list, ServingReport]:
+        """Replay a trace with deterministic batch composition.
+
+        Emulates the collector loop on the trace's own clock: a batch
+        opens at its oldest request and closes when full or when
+        ``max_wait_s`` elapses.  Batch membership — and therefore every
+        cache decision downstream — depends *only* on the trace and the
+        batcher config (the collector is modelled as always available,
+        unlike the wall-clock :meth:`serve_trace` path where service
+        time feeds back into composition).  Latency combines the
+        simulated queue wait with measured compute time, serialised on
+        one backend.
+        """
+        config = self.batcher_config
+        arrivals = np.array([request.arrival_s for request in trace])
+        order = np.argsort(arrivals, kind="stable")
+        outputs: list = [None] * len(trace)
+        latencies = np.zeros(len(trace))
+        wall_start = time.perf_counter()
+
+        backend_free_at = 0.0
+        i = 0
+        while i < len(order):
+            first_arrival = arrivals[order[i]]
+            deadline = first_arrival + config.max_wait_s
+            j = i + 1
+            while (j < len(order) and j - i < config.max_batch_size
+                   and arrivals[order[j]] <= deadline):
+                j += 1
+            close_time = arrivals[order[j - 1]] \
+                if j - i == config.max_batch_size else deadline
+
+            members = order[i:j]
+            compute_start = time.perf_counter()
+            batch_outputs = self._process_batch(
+                [pool[trace[k].pool_index] for k in members])
+            compute_s = time.perf_counter() - compute_start
+            service_start = max(close_time, backend_free_at)
+            service_end = service_start + compute_s
+            backend_free_at = service_end
+            for position, k in enumerate(members):
+                outputs[k] = batch_outputs[position]
+                latencies[k] = service_end - arrivals[k]
+            self._batcher.telemetry.record_batch(len(members))
+            i = j
+
+        duration = time.perf_counter() - wall_start
+        return outputs, self._report(len(trace), duration, latencies)
+
+    # ------------------------------------------------------------------
+    # Exactness oracle
+    # ------------------------------------------------------------------
+    def oracle_outputs(self, payloads: np.ndarray) -> np.ndarray:
+        """Engine-less per-request forwards of the same weights.
+
+        Every payload is forwarded alone, so each oracle output depends
+        only on its own payload — the canonical reference the exact
+        serving configuration reproduces byte for byte.
+        """
+        self.model.set_engine(None)
+        try:
+            self.model.eval()
+            outputs = [np.asarray(self.model(payload[None])[0],
+                                  dtype=np.float64)
+                       for payload in payloads]
+        finally:
+            self.model.set_engine(self.vector_engine)
+        return np.stack(outputs) if outputs else np.empty((0,))
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _report(self, requests: int, duration_s: float,
+                latencies_s) -> ServingReport:
+        quantiles = _percentiles_ms(latencies_s)
+        telemetry = self._batcher.telemetry
+        request_counters = self.request_cache.counters.to_dict() \
+            if self.request_cache is not None else {}
+        vector_counters = self.vector_engine.counters().to_dict() \
+            if self.vector_engine is not None else {}
+        if request_counters:
+            hit_rate = request_counters["hit_rate"]
+        elif vector_counters:
+            hit_rate = vector_counters["hit_rate"]
+        else:
+            hit_rate = 0.0
+        return ServingReport(
+            requests=requests,
+            batches=self._batch_count,
+            mean_batch_size=telemetry.mean_batch_size,
+            duration_s=duration_s,
+            throughput_rps=requests / duration_s if duration_s else 0.0,
+            latency_p50_ms=quantiles["p50"],
+            latency_p95_ms=quantiles["p95"],
+            latency_p99_ms=quantiles["p99"],
+            latency_mean_ms=quantiles["mean"],
+            request_cache=request_counters,
+            vector_cache=vector_counters,
+            layer_stats=self.vector_engine.layer_summary()
+            if self.vector_engine is not None else [],
+            hit_rate=hit_rate)
+
+    def stats(self) -> dict:
+        """Live snapshot (the HTTP ``/stats`` payload).
+
+        ``duration_s``/``throughput_rps`` are wall clock since the
+        server was built; ``compute_time_s`` is the model time inside
+        that.
+        """
+        report = self._report(self._batcher.telemetry.completed,
+                              time.perf_counter() - self._started_at,
+                              self._batcher.telemetry.latencies_s)
+        payload = report.to_dict()
+        payload["queue_depth"] = self._batcher.depth
+        payload["compute_time_s"] = self._compute_time_s
+        return payload
+
+    # ------------------------------------------------------------------
+    # HTTP front end (stdlib only)
+    # ------------------------------------------------------------------
+    def serve_http(self, host: str = "127.0.0.1", port: int = 0
+                   ) -> "HttpFrontEnd":
+        """Start the HTTP front end; returns a handle with ``.port``."""
+        front = HttpFrontEnd(self, host, port)
+        front.start()
+        return front
+
+
+class HttpFrontEnd:
+    """JSON-over-HTTP adapter around an :class:`InferenceServer`.
+
+    ``POST /infer`` with ``{"inputs": <nested list>}`` returns
+    ``{"outputs": <nested list>}``; ``GET /stats`` and ``GET /healthz``
+    report telemetry and liveness.  The asyncio loop (and the
+    micro-batcher) runs on a dedicated thread; HTTP handler threads
+    submit into it and block on the result — so concurrent HTTP clients
+    still share micro-batches.
+    """
+
+    def __init__(self, server: InferenceServer, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.server = server
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._http = None
+        self._http_thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        ready = threading.Event()
+
+        def run_loop():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.server.start())
+            ready.set()
+            loop.run_forever()
+
+        self._loop_thread = threading.Thread(target=run_loop, daemon=True)
+        self._loop_thread.start()
+        ready.wait(timeout=10)
+
+        front = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # pragma: no cover — quiet
+                pass
+
+            def _send(self, status: int, payload: dict) -> None:
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                if self.path == "/healthz":
+                    self._send(200, {"ok": True})
+                elif self.path == "/stats":
+                    self._send(200, front.server.stats())
+                else:
+                    self._send(404, {"error": f"unknown path {self.path}"})
+
+            def do_POST(self):
+                if self.path != "/infer":
+                    self._send(404, {"error": f"unknown path {self.path}"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    payload = json.loads(self.rfile.read(length))
+                    inputs = np.asarray(payload["inputs"])
+                    started = time.perf_counter()
+                    outputs = front.submit(inputs)
+                    latency_ms = (time.perf_counter() - started) * 1e3
+                except Exception as error:  # noqa: BLE001 — report to client
+                    self._send(400, {"error": str(error)})
+                    return
+                self._send(200, {"outputs": np.asarray(outputs).tolist(),
+                                 "latency_ms": latency_ms})
+
+        self._http = ThreadingHTTPServer((self.host, self._requested_port),
+                                         Handler)
+        self.port = self._http.server_address[1]
+        self._http_thread = threading.Thread(
+            target=self._http.serve_forever, daemon=True)
+        self._http_thread.start()
+
+    def submit(self, inputs: np.ndarray, timeout_s: float = 30.0):
+        """Thread-safe inference: submit into the serving loop."""
+        if self._loop is None:
+            raise RuntimeError("front end is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.infer(inputs), self._loop)
+        return future.result(timeout=timeout_s)
+
+    def stop(self) -> None:
+        if self._http is not None:
+            self._http.shutdown()
+            self._http.server_close()
+            self._http_thread.join(timeout=5)
+            self._http = None
+        if self._loop is not None:
+            stop_future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop)
+            stop_future.result(timeout=10)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._loop_thread.join(timeout=5)
+            self._loop = None
+
+    def url(self, path: str = "") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def __enter__(self) -> "HttpFrontEnd":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

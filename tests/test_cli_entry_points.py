@@ -1,0 +1,75 @@
+"""The console-script entry points resolve and run.
+
+The container cannot ``pip install`` the package, so these tests call
+the entry functions directly with argv lists — the same call the
+installed ``repro-serve`` / ``repro-sweep`` scripts make — and check
+that ``setup.py`` names exactly those callables.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def declared_entry_points() -> dict[str, str]:
+    """Parse the console_scripts mapping out of setup.py."""
+    tree = ast.parse((REPO_ROOT / "setup.py").read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.keyword) and node.arg == "entry_points":
+            mapping = ast.literal_eval(node.value)
+            return dict(spec.split("=", 1)
+                        for spec in mapping["console_scripts"])
+    raise AssertionError("setup.py declares no entry_points")
+
+
+class TestEntryPointDeclarations:
+    def test_scripts_are_declared(self):
+        scripts = declared_entry_points()
+        assert set(scripts) == {"repro-serve", "repro-sweep"}
+
+    def test_targets_resolve_to_callables(self):
+        for target in declared_entry_points().values():
+            module_name, function_name = target.split(":")
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, function_name))
+
+
+class TestReproServeCli:
+    def test_replay_mode(self, capsys):
+        from repro.serving.cli import serve_main
+        code = serve_main(["--requests", "30", "--pool-size", "6",
+                           "--traffic", "zipfian"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "served 30 requests" in out
+
+    def test_http_drive_mode(self, capsys):
+        from repro.serving.cli import serve_main
+        code = serve_main(["--requests", "8", "--pool-size", "4", "--http"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HTTP front end" in out
+        assert "drove 8 requests over HTTP" in out
+
+
+class TestReproSweepCli:
+    def test_sweep_writes_envelope(self, tmp_path, capsys):
+        from repro.analysis.serving_sweep import main
+        output = tmp_path / "serving.json"
+        code = main(["--models", "squeezenet", "--traffics", "zipfian",
+                     "--cache-policies", "none", "request_exact",
+                     "--requests", "30", "--pool-size", "6",
+                     "--processes", "0", "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["schema"] == "serving-sweep"
+        assert len(payload["rows"]) == 2
+        out = capsys.readouterr().out
+        assert "cache_policy" in out
+        assert "mean hit rate" in out

@@ -1,0 +1,123 @@
+"""Golden serving determinism: pinned trace → pinned reuse statistics.
+
+A fixed-seed Zipfian load-generator trace is replayed through the
+:class:`~repro.serving.server.InferenceServer` in two configurations:
+
+* ``request_exact`` (request cache, exact check, per-request compute):
+  every served output must be **byte-identical** to the engine-less
+  per-request forward oracle, and the full hit-statistics payload is
+  pinned in ``tests/golden/serving_squeezenet.json``;
+* ``vector_exact`` (per-layer persistent cache, exact check): reuse
+  only copies rows produced by identical vectors, so outputs stay
+  within BLAS shape noise of the oracle; the row-level counters are
+  pinned alongside.
+
+Any change to the load generator, the replay batching discipline, the
+RPQ signatures or the cache admission logic shows up here as a counter
+mismatch instead of silently shifting every serving figure.
+
+Regenerate after an *intentional* behaviour change::
+
+    GOLDEN_REGENERATE=1 PYTHONPATH=src python -m pytest tests/test_golden_serving.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models.registry import build_model
+from repro.serving import (BatcherConfig, InferenceServer, ServingPolicy,
+                           TrafficConfig, build_request_pool, generate_trace)
+from repro.serving.loadgen import trace_summary
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "serving_squeezenet.json"
+
+TRACE_CONFIG = TrafficConfig(pattern="zipfian", num_requests=160, seed=11)
+POOL_SIZE = 16
+MODEL_SEED = 5
+BATCHER = BatcherConfig(max_batch_size=8, max_wait_s=0.001)
+
+POLICIES = {
+    "request_exact": ServingPolicy(request_cache=True, vector_cache=False,
+                                   exact_check=True, compute="per_request"),
+    "vector_exact": ServingPolicy(request_cache=False, vector_cache=True,
+                                  exact_check=True, compute="batched",
+                                  entries=8192, ways=16),
+}
+
+
+def _pieces():
+    pool = build_request_pool("squeezenet", pool_size=POOL_SIZE,
+                              image_size=12, seed=3)
+    trace = generate_trace(TRACE_CONFIG, len(pool))
+    return pool, trace
+
+
+def _serve(policy_name: str):
+    pool, trace = _pieces()
+    model = build_model("squeezenet", num_classes=4, seed=MODEL_SEED)
+    server = InferenceServer(model, POLICIES[policy_name], BATCHER)
+    outputs, report = server.replay(trace, pool)
+    oracle = server.oracle_outputs(pool)
+    return trace, outputs, report, oracle
+
+
+def _statistics_payload() -> dict:
+    payload: dict = {"trace": trace_summary(_pieces()[1])}
+    for name in POLICIES:
+        trace, outputs, report, oracle = _serve(name)
+        identical = sum(
+            1 for request, output in zip(trace, outputs)
+            if np.array_equal(output, oracle[request.pool_index]))
+        payload[name] = {
+            "batches": report.batches,
+            "hit_rate": report.hit_rate,
+            "request_cache": report.request_cache,
+            "vector_cache": report.vector_cache,
+            "bit_identical": identical,
+        }
+    return payload
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    payload = _statistics_payload()
+    if os.environ.get("GOLDEN_REGENERATE"):
+        GOLDEN_PATH.write_text(json.dumps(payload, indent=2,
+                                          sort_keys=True) + "\n")
+    assert GOLDEN_PATH.exists(), \
+        "golden file missing; run with GOLDEN_REGENERATE=1"
+    return {"current": payload,
+            "pinned": json.loads(GOLDEN_PATH.read_text())}
+
+
+class TestGoldenServing:
+    def test_exact_mode_outputs_byte_identical(self):
+        trace, outputs, report, oracle = _serve("request_exact")
+        for request, output in zip(trace, outputs):
+            assert output.tobytes() == \
+                oracle[request.pool_index].tobytes()
+        assert report.hit_rate > 0
+
+    def test_vector_mode_within_blas_shape_noise(self):
+        trace, outputs, report, oracle = _serve("vector_exact")
+        deviation = max(
+            float(np.max(np.abs(output - oracle[request.pool_index])))
+            for request, output in zip(trace, outputs))
+        assert deviation < 1e-9
+        assert report.hit_rate > 0
+
+    def test_hit_statistics_match_pinned(self, golden):
+        assert golden["current"] == golden["pinned"]
+
+    def test_pinned_file_claims_full_exactness(self, golden):
+        pinned = golden["pinned"]
+        assert pinned["request_exact"]["bit_identical"] == \
+            TRACE_CONFIG.num_requests
+        assert pinned["request_exact"]["hit_rate"] > 0.5
+        assert pinned["vector_exact"]["hit_rate"] > 0.3

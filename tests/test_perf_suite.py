@@ -61,7 +61,8 @@ def test_run_suite_artifact_contract():
     payload = run_suite(quick=True, repeats=1)
     assert payload["schema"] == SCHEMA
     expected = {"im2col", "rpq_projection_growth", "hitmap_multiword",
-                "train_step", "baseline_memoization", "functional_sweep"}
+                "train_step", "conv_group_batching", "serving_reuse",
+                "baseline_memoization", "functional_sweep"}
     assert set(payload["segments"]) == expected
     assert set(payload["speedups"]) == expected
     for segment in payload["segments"].values():

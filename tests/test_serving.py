@@ -1,0 +1,490 @@
+"""The reuse-aware serving subsystem: caches, batcher, server, traffic."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.models.registry import build_model
+from repro.serving import (
+    BatcherConfig,
+    InferenceServer,
+    MicroBatcher,
+    ServingPolicy,
+    ServingReuseEngine,
+    SignatureResultCache,
+    TrafficConfig,
+    build_request_pool,
+    generate_trace,
+)
+from repro.serving.loadgen import TRAFFIC_PATTERNS, trace_summary
+
+
+# ----------------------------------------------------------------------
+# SignatureResultCache
+# ----------------------------------------------------------------------
+class TestSignatureResultCache:
+    @staticmethod
+    def _compute(vectors, weights):
+        return lambda rows: vectors[rows] @ weights
+
+    def test_cross_batch_reuse(self, rng):
+        policy = ServingPolicy(entries=64, ways=4, signature_bits=24)
+        cache = SignatureResultCache(policy)
+        vectors = rng.normal(size=(6, 10))
+        weights = rng.normal(size=(10, 3))
+        first, outcome1 = cache.serve(vectors,
+                                      self._compute(vectors, weights), 0)
+        assert outcome1.cross_hit_rows == 0
+        assert outcome1.computed_unique == 6
+        second, outcome2 = cache.serve(vectors,
+                                       self._compute(vectors, weights), 1)
+        assert outcome2.cross_hit_rows == 6
+        assert outcome2.computed_unique == 0
+        np.testing.assert_array_equal(first, second)
+
+    def test_intra_batch_duplicates_share_one_compute(self, rng):
+        policy = ServingPolicy(entries=64, ways=4)
+        cache = SignatureResultCache(policy)
+        row = rng.normal(size=10)
+        vectors = np.stack([row, row, row])
+        weights = rng.normal(size=(10, 3))
+        calls = []
+
+        def compute(rows):
+            calls.append(len(rows))
+            return vectors[rows] @ weights
+
+        results, outcome = cache.serve(vectors, compute, 0)
+        assert calls == [1]
+        assert outcome.intra_hit_rows == 2
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_capacity_rejects_without_replacement(self, rng):
+        # One set, one way: the second distinct signature can never be
+        # admitted, so it is recomputed on every batch (MNU semantics).
+        policy = ServingPolicy(entries=1, ways=1, signature_bits=16)
+        cache = SignatureResultCache(policy)
+        vectors = rng.normal(size=(2, 8))
+        weights = rng.normal(size=(8, 2))
+        cache.serve(vectors, self._compute(vectors, weights), 0)
+        assert cache.occupancy() == 1
+        _, outcome = cache.serve(vectors, self._compute(vectors, weights), 1)
+        assert outcome.cross_hit_rows == 1
+        assert outcome.rejected_unique == 1
+        assert cache.counters.rejected >= 1
+
+    def test_ttl_refreshes_stale_entries(self, rng):
+        policy = ServingPolicy(entries=64, ways=4, ttl_batches=2)
+        cache = SignatureResultCache(policy)
+        vectors = rng.normal(size=(3, 8))
+        weights = rng.normal(size=(8, 2))
+        cache.serve(vectors, self._compute(vectors, weights), 0)
+        # Within TTL: served from the store.
+        _, fresh = cache.serve(vectors, self._compute(vectors, weights), 2)
+        assert fresh.cross_hit_rows == 3
+        # Past TTL: recomputed and refreshed in place.
+        _, stale = cache.serve(vectors, self._compute(vectors, weights), 5)
+        assert stale.cross_hit_rows == 0
+        assert stale.computed_unique == 3
+        assert cache.counters.expired == 3
+        # The refresh reset the age clock.
+        _, again = cache.serve(vectors, self._compute(vectors, weights), 6)
+        assert again.cross_hit_rows == 3
+
+    def test_exact_check_demotes_collisions(self, rng):
+        # 1-bit signatures guarantee aliasing between distinct vectors.
+        policy = ServingPolicy(entries=4, ways=2, signature_bits=1,
+                               exact_check=True)
+        cache = SignatureResultCache(policy)
+        vectors = rng.normal(size=(8, 6))
+        weights = rng.normal(size=(6, 2))
+        results, _ = cache.serve(vectors, self._compute(vectors, weights), 0)
+        np.testing.assert_array_equal(results, vectors @ weights)
+        more = rng.normal(size=(8, 6))
+        results2, _ = cache.serve(more, self._compute(more, weights), 1)
+        np.testing.assert_array_equal(results2, more @ weights)
+        assert cache.counters.collisions > 0
+
+    def test_signature_trust_mode_shares_colliding_rows(self, rng):
+        policy = ServingPolicy(entries=64, ways=4, signature_bits=1,
+                               exact_check=False)
+        cache = SignatureResultCache(policy)
+        vectors = rng.normal(size=(8, 6))
+        weights = rng.normal(size=(6, 2))
+        results, outcome = cache.serve(vectors,
+                                       self._compute(vectors, weights), 0)
+        # At most two unique signatures exist at 1 bit.
+        assert outcome.unique <= 2
+        assert outcome.intra_hit_rows >= 6
+
+    def test_row_accounting_is_consistent(self, rng, make_trace):
+        policy = ServingPolicy(entries=32, ways=2, signature_bits=20)
+        cache = SignatureResultCache(policy)
+        weights = rng.normal(size=(8, 2))
+        for batch in range(4):
+            vectors = rng.normal(size=(20, 8))
+            # Repeat some rows to force intra hits.
+            vectors[10:] = vectors[:10]
+            _, outcome = cache.serve(vectors,
+                                     self._compute(vectors, weights), batch)
+            assert (outcome.cross_hit_rows + outcome.intra_hit_rows
+                    + outcome.computed_unique + outcome.aliased_rows
+                    == outcome.rows)
+        counters = cache.counters
+        assert counters.requests == 80
+        assert counters.hits + counters.computed == counters.requests
+
+
+# ----------------------------------------------------------------------
+# ServingReuseEngine
+# ----------------------------------------------------------------------
+class TestServingReuseEngine:
+    def test_persistent_across_calls(self, rng):
+        engine = ServingReuseEngine(ServingPolicy(vector_cache=True,
+                                                  entries=256, ways=4))
+        vectors = rng.normal(size=(10, 12))
+        weights = rng.normal(size=(12, 4))
+        engine.matmul(vectors, weights, layer="L")
+        engine.end_batch()
+        engine.matmul(vectors, weights, layer="L")
+        record = engine.stats.get("L", "forward")
+        assert record.hits == 10          # the whole second batch reused
+        assert engine.counters().cross_hits == 10
+
+    def test_layer_enable_patterns(self, rng):
+        engine = ServingReuseEngine(ServingPolicy(vector_cache=True,
+                                                  layers=("conv",)))
+        vectors = rng.normal(size=(4, 6))
+        weights = rng.normal(size=(6, 2))
+        engine.matmul(vectors, weights, layer="head:Linear")
+        engine.matmul(vectors, weights, layer="stem:conv1")
+        assert not engine.stats.get("head:Linear",
+                                    "forward").similarity_detection_on
+        assert engine.stats.get("stem:conv1",
+                                "forward").similarity_detection_on
+
+    def test_backward_phase_is_exact_passthrough(self, rng):
+        engine = ServingReuseEngine(ServingPolicy(vector_cache=True))
+        vectors = rng.normal(size=(4, 6))
+        weights = rng.normal(size=(6, 2))
+        out = engine.matmul(vectors, weights, layer="L", phase="backward")
+        np.testing.assert_array_equal(out, vectors @ weights)
+        assert engine.counters().requests == 0
+
+    def test_separate_caches_per_vector_length(self, rng):
+        engine = ServingReuseEngine(ServingPolicy(vector_cache=True))
+        engine.matmul(rng.normal(size=(3, 6)), rng.normal(size=(6, 2)),
+                      layer="L")
+        engine.matmul(rng.normal(size=(3, 9)), rng.normal(size=(9, 2)),
+                      layer="L")
+        assert len(engine.occupancy()) == 2
+
+    def test_data_dependent_weights_never_reuse(self, rng):
+        # Attention-style calls multiply by the *batch itself* (a fresh
+        # array every call); the weights-identity guard must turn those
+        # streams into exact bypasses instead of serving rows computed
+        # against another request's matrix.
+        engine = ServingReuseEngine(ServingPolicy(vector_cache=True))
+        vectors = rng.normal(size=(4, 6))
+        weights_a = rng.normal(size=(6, 4))
+        weights_b = rng.normal(size=(6, 4))
+        engine.matmul(vectors, weights_a, layer="attn")
+        engine.end_batch()
+        out = engine.matmul(vectors, weights_b, layer="attn")
+        np.testing.assert_array_equal(out, vectors @ weights_b)
+        assert engine.counters().cross_hits == 0
+        # Once a stream is data-dependent it stays exact, even if the
+        # first matrix reappears.
+        engine.end_batch()
+        out = engine.matmul(vectors, weights_a, layer="attn")
+        np.testing.assert_array_equal(out, vectors @ weights_a)
+        assert engine.counters().cross_hits == 0
+
+    def test_weight_views_of_one_parameter_keep_matching(self, rng):
+        # Conv hands the engine a fresh transpose view of its cached
+        # weight matrix every call; views of one parameter must not
+        # trip the data-dependent guard.
+        engine = ServingReuseEngine(ServingPolicy(vector_cache=True))
+        parameter = rng.normal(size=(4, 6))
+        vectors = rng.normal(size=(5, 6))
+        engine.matmul(vectors, parameter.T, layer="conv")
+        engine.end_batch()
+        engine.matmul(vectors, parameter.T, layer="conv")
+        assert engine.counters().cross_hits == 5
+
+    def test_attaches_like_training_engine(self, rng):
+        model = build_model("squeezenet", num_classes=3, seed=1)
+        engine = ServingReuseEngine(ServingPolicy(vector_cache=True))
+        model.set_engine(engine)
+        model.eval()
+        x = rng.normal(size=(2, 3, 12, 12))
+        model(x)
+        engine.end_batch()
+        model(x)
+        counters = engine.counters()
+        assert counters.cross_hits > 0
+        assert any(row["hit_fraction"] > 0 for row in engine.layer_summary())
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_batches_up_to_max_size(self):
+        seen = []
+
+        def process(batch):
+            seen.append(len(batch))
+            return [x * 2 for x in batch]
+
+        async def drive():
+            batcher = MicroBatcher(process,
+                                   BatcherConfig(max_batch_size=4,
+                                                 max_wait_s=0.05))
+            await batcher.start()
+            results = await asyncio.gather(*(batcher.submit(i)
+                                             for i in range(10)))
+            await batcher.stop()
+            return results
+
+        results = asyncio.run(drive())
+        assert results == [i * 2 for i in range(10)]
+        assert max(seen) <= 4
+        assert sum(seen) == 10
+
+    def test_max_wait_flushes_partial_batch(self):
+        def process(batch):
+            return list(batch)
+
+        async def drive():
+            batcher = MicroBatcher(process,
+                                   BatcherConfig(max_batch_size=64,
+                                                 max_wait_s=0.01))
+            await batcher.start()
+            result = await asyncio.wait_for(batcher.submit("only"),
+                                            timeout=5)
+            await batcher.stop()
+            return result
+
+        assert asyncio.run(drive()) == "only"
+
+    def test_failures_propagate_per_request(self):
+        def process(batch):
+            raise RuntimeError("backend down")
+
+        async def drive():
+            batcher = MicroBatcher(process, BatcherConfig(max_wait_s=0.001))
+            await batcher.start()
+            with pytest.raises(RuntimeError, match="batch processing"):
+                await batcher.submit(1)
+            await batcher.stop()
+            return batcher.telemetry
+
+        telemetry = asyncio.run(drive())
+        assert telemetry.failed == 1
+
+    def test_stop_waits_for_inflight_submissions(self):
+        # stop() must resolve every admitted submission — including
+        # ones still suspended at their queue.put — before cancelling
+        # the collector, or their futures would hang forever.
+        def process(batch):
+            return list(batch)
+
+        async def drive():
+            batcher = MicroBatcher(process,
+                                   BatcherConfig(max_batch_size=2,
+                                                 max_wait_s=0.001,
+                                                 max_queue=2))
+            await batcher.start()
+            submissions = [asyncio.ensure_future(batcher.submit(i))
+                           for i in range(12)]
+            await asyncio.sleep(0)  # admit them, then stop immediately
+            await batcher.stop()
+            return await asyncio.gather(*submissions)
+
+        assert asyncio.run(asyncio.wait_for(drive(), timeout=10)) == \
+            list(range(12))
+
+    def test_submit_requires_running_batcher(self):
+        batcher = MicroBatcher(lambda batch: batch)
+
+        async def drive():
+            await batcher.submit(1)
+
+        with pytest.raises(RuntimeError, match="not running"):
+            asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# Traffic generation
+# ----------------------------------------------------------------------
+class TestLoadGen:
+    def test_traces_are_deterministic(self):
+        config = TrafficConfig(pattern="zipfian", num_requests=50, seed=7)
+        assert generate_trace(config, 16) == generate_trace(config, 16)
+
+    @pytest.mark.parametrize("pattern", TRAFFIC_PATTERNS)
+    def test_patterns_produce_valid_traces(self, pattern):
+        config = TrafficConfig(pattern=pattern, num_requests=64, seed=3)
+        trace = generate_trace(config, 16)
+        assert len(trace) == 64
+        arrivals = [request.arrival_s for request in trace]
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+        assert all(0 <= request.pool_index < 16 for request in trace)
+
+    def test_zipfian_is_skewed(self):
+        uniform = generate_trace(TrafficConfig(pattern="uniform",
+                                               num_requests=400, seed=0), 64)
+        zipf = generate_trace(TrafficConfig(pattern="zipfian",
+                                            num_requests=400, seed=0), 64)
+        assert trace_summary(zipf)["top_key_share"] > \
+            trace_summary(uniform)["top_key_share"]
+
+    def test_bursty_has_wider_gap_spread(self):
+        uniform = generate_trace(TrafficConfig(pattern="uniform",
+                                               num_requests=256, seed=0), 8)
+        bursty = generate_trace(TrafficConfig(pattern="bursty",
+                                              num_requests=256, seed=0), 8)
+
+        def gap_cv(trace):
+            arrivals = np.array([r.arrival_s for r in trace])
+            gaps = np.diff(arrivals)
+            return gaps.std() / gaps.mean()
+
+        assert gap_cv(bursty) > gap_cv(uniform)
+
+    def test_pool_shapes(self):
+        images = build_request_pool("squeezenet", pool_size=6, image_size=12)
+        assert images.shape == (6, 3, 12, 12)
+        tokens = build_request_pool("transformer", pool_size=6)
+        assert tokens.shape[0] == 6
+        assert tokens.dtype.kind in "iu"
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(pattern="nope")
+        with pytest.raises(ValueError):
+            TrafficConfig(num_requests=0)
+
+
+# ----------------------------------------------------------------------
+# InferenceServer
+# ----------------------------------------------------------------------
+@pytest.fixture
+def small_pool():
+    return build_request_pool("squeezenet", pool_size=8, image_size=12,
+                              seed=0)
+
+
+@pytest.fixture
+def zipf_trace():
+    return generate_trace(TrafficConfig(pattern="zipfian", num_requests=60,
+                                        seed=1), 8)
+
+
+class TestInferenceServer:
+    def test_exact_mode_bit_identical_to_oracle(self, small_pool, zipf_trace):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        server = InferenceServer(
+            model,
+            ServingPolicy(request_cache=True, vector_cache=False,
+                          exact_check=True, compute="per_request"),
+            BatcherConfig(max_batch_size=8, max_wait_s=0.001))
+        outputs, report = server.replay(zipf_trace, small_pool)
+        oracle = server.oracle_outputs(small_pool)
+        for request, output in zip(zipf_trace, outputs):
+            np.testing.assert_array_equal(output,
+                                          oracle[request.pool_index])
+        assert report.hit_rate > 0
+        assert report.requests == 60
+
+    def test_vector_mode_near_exact_with_check(self, small_pool, zipf_trace):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        server = InferenceServer(
+            model,
+            ServingPolicy(request_cache=False, vector_cache=True,
+                          exact_check=True, entries=8192, ways=16))
+        outputs, report = server.replay(zipf_trace, small_pool)
+        oracle = server.oracle_outputs(small_pool)
+        deviation = max(
+            float(np.max(np.abs(out - oracle[req.pool_index])))
+            for req, out in zip(zipf_trace, outputs))
+        assert deviation < 1e-9
+        assert report.hit_rate > 0
+        assert report.layer_stats
+
+    def test_replay_is_deterministic(self, small_pool, zipf_trace):
+        def run():
+            model = build_model("squeezenet", num_classes=4, seed=3)
+            server = InferenceServer(
+                model, ServingPolicy(compute="per_request"))
+            outputs, report = server.replay(zipf_trace, small_pool)
+            return outputs, report
+
+        outputs_a, report_a = run()
+        outputs_b, report_b = run()
+        for left, right in zip(outputs_a, outputs_b):
+            np.testing.assert_array_equal(left, right)
+        assert report_a.request_cache == report_b.request_cache
+        assert report_a.batches == report_b.batches
+
+    def test_async_serve_trace(self, small_pool, zipf_trace):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        server = InferenceServer(model, ServingPolicy())
+        outputs, report = server.serve_trace(zipf_trace[:24], small_pool)
+        assert len(outputs) == 24
+        assert report.mean_batch_size >= 1
+        assert report.latency_p99_ms > 0
+
+    def test_no_cache_baseline(self, small_pool, zipf_trace):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        server = InferenceServer(
+            model, ServingPolicy(request_cache=False, vector_cache=False))
+        outputs, report = server.replay(zipf_trace[:16], small_pool)
+        assert report.hit_rate == 0.0
+        assert len(outputs) == 16
+
+    def test_transformer_payloads(self):
+        pool = build_request_pool("transformer", pool_size=6, seed=0)
+        trace = generate_trace(TrafficConfig(pattern="zipfian",
+                                             num_requests=20, seed=2), 6)
+        model = build_model("transformer", seed=1)
+        server = InferenceServer(
+            model, ServingPolicy(compute="per_request"))
+        outputs, report = server.replay(trace, pool)
+        oracle = server.oracle_outputs(pool)
+        for request, output in zip(trace, outputs):
+            np.testing.assert_array_equal(output,
+                                          oracle[request.pool_index])
+        assert report.hit_rate > 0
+
+    def test_http_front_end(self, small_pool):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        server = InferenceServer(model, ServingPolicy(
+            compute="per_request"))
+        front = server.serve_http(port=0)
+        try:
+            with urllib.request.urlopen(front.url("/healthz"),
+                                        timeout=10) as response:
+                assert json.load(response) == {"ok": True}
+            payload = json.dumps(
+                {"inputs": small_pool[0].tolist()}).encode()
+            request = urllib.request.Request(
+                front.url("/infer"), data=payload,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as response:
+                body = json.load(response)
+            outputs = np.asarray(body["outputs"])
+            oracle = server.oracle_outputs(small_pool[:1])[0]
+            np.testing.assert_array_equal(outputs, oracle)
+            with urllib.request.urlopen(front.url("/stats"),
+                                        timeout=10) as response:
+                stats = json.load(response)
+            assert stats["requests"] >= 1
+        finally:
+            front.stop()

@@ -1,0 +1,155 @@
+"""Serving sweep grid, results envelope and reporting renderer."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.functional_sweep import FunctionalSweepResults
+from repro.analysis.grid import GridResults
+from repro.analysis.reporting import format_rows, render_results
+from repro.analysis.serving_sweep import (
+    CACHE_POLICIES,
+    SERVING_RESULT_KEYS,
+    ServingPoint,
+    ServingSweepResults,
+    build_serving_grid,
+    evaluate_serving_point,
+    run_serving_sweep,
+)
+
+QUICK = dict(num_requests=40, pool_size=8)
+
+
+class TestServingGrid:
+    def test_grid_cross_product(self):
+        points = build_serving_grid(models=("squeezenet",),
+                                    traffics=("uniform", "zipfian"),
+                                    cache_policies=("none", "request_exact"),
+                                    batch_sizes=(4, 8), **QUICK)
+        assert len(points) == 8
+        assert len(set(points)) == 8
+
+    def test_invalid_points_fail_at_build_time(self):
+        with pytest.raises(ValueError, match="unknown traffic"):
+            ServingPoint(traffic="ddos")
+        with pytest.raises(ValueError, match="unknown cache_policy"):
+            ServingPoint(cache_policy="magic")
+        with pytest.raises(ValueError, match="unknown model"):
+            ServingPoint(model="resnet9000")
+        with pytest.raises(ValueError):
+            ServingPoint(batch_size=0)
+
+    def test_policy_presets_are_complete(self):
+        for name in CACHE_POLICIES:
+            point = ServingPoint(cache_policy=name, **QUICK)
+            from repro.analysis.serving_sweep import policy_for
+            policy = policy_for(point)
+            assert policy.entries == point.entries
+
+
+class TestEvaluateServingPoint:
+    def test_row_schema_and_content(self):
+        point = ServingPoint(cache_policy="request_exact",
+                             traffic="zipfian", **QUICK)
+        row = evaluate_serving_point(point)
+        assert SERVING_RESULT_KEYS <= set(row)
+        assert row["hit_rate"] > 0
+        assert row["bit_identical_fraction"] == 1.0
+        assert row["throughput_rps"] > 0
+        json.dumps(row)  # JSON-safe
+
+    def test_rows_are_reproducible(self):
+        point = ServingPoint(cache_policy="request_exact", **QUICK)
+        left = evaluate_serving_point(point)
+        right = evaluate_serving_point(point)
+        for key in ("hit_rate", "request_hit_rate", "batches",
+                    "distinct_payloads", "bit_identical_fraction"):
+            assert left[key] == right[key], key
+
+    def test_no_cache_baseline_has_zero_hits(self):
+        row = evaluate_serving_point(ServingPoint(cache_policy="none",
+                                                  **QUICK))
+        assert row["hit_rate"] == 0.0
+        assert row["request_hit_rate"] == 0.0
+
+
+class TestServingSweepResults:
+    def _small_results(self):
+        points = build_serving_grid(models=("squeezenet",),
+                                    traffics=("zipfian",),
+                                    cache_policies=("none",
+                                                    "request_exact"),
+                                    **QUICK)
+        return run_serving_sweep(points, processes=0)
+
+    def test_sweep_runs_and_summarises(self):
+        results = self._small_results()
+        assert len(results) == 2
+        assert all(not missing for missing in results.missing_keys())
+        summary = results.summary()
+        assert summary["points"] == 2
+        assert 0 <= summary["mean_hit_rate"] <= 1
+        assert "request_exact" in summary["hit_rate_by_policy"]
+
+    def test_schema_marker_round_trip(self, tmp_path):
+        results = self._small_results()
+        path = tmp_path / "serving.json"
+        results.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "serving-sweep"
+        loaded = ServingSweepResults.load(path)
+        assert loaded.rows == results.rows
+        assert loaded.summary() == results.summary()
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        results = self._small_results()
+        path = tmp_path / "serving.json"
+        results.save(path)
+        with pytest.raises(ValueError, match="serving-sweep"):
+            FunctionalSweepResults.load(path)
+
+    def test_multiprocessing_matches_inprocess(self):
+        points = build_serving_grid(models=("squeezenet",),
+                                    traffics=("zipfian",),
+                                    cache_policies=("request_exact",),
+                                    seeds=(0, 1), **QUICK)
+        pooled = run_serving_sweep(points, processes=2)
+        serial = run_serving_sweep(points, processes=0)
+        for left, right in zip(pooled.rows, serial.rows):
+            assert left["hit_rate"] == right["hit_rate"]
+            assert left["bit_identical_fraction"] == \
+                right["bit_identical_fraction"]
+
+
+class TestRenderResults:
+    def test_renders_serving_rows(self):
+        results = ServingSweepResults(rows=[
+            {key: 0 for key in SERVING_RESULT_KEYS} | {
+                "model": "squeezenet", "traffic": "zipfian",
+                "cache_policy": "layered", "hit_rate": 0.5}])
+        text = render_results(results)
+        assert "cache_policy" in text
+        assert "layered" in text
+        assert "0.500" in text
+
+    def test_renders_unknown_schema_with_row_keys(self):
+        results = GridResults(rows=[{"a": 1, "b": 2.0}])
+        text = render_results(results)
+        assert "a" in text and "b" in text
+
+    def test_missing_columns_render_as_dash(self):
+        text = format_rows([{"a": 1}], columns=("a", "missing"))
+        assert "-" in text
+
+    def test_empty_results_render_headers(self):
+        text = render_results(ServingSweepResults(rows=[]))
+        assert "hit_rate" in text
+
+    def test_column_override(self):
+        results = ServingSweepResults(rows=[
+            {"model": "m", "traffic": "t", "hit_rate": 0.25}])
+        text = render_results(results, columns=("model", "hit_rate"))
+        assert "traffic" not in text.splitlines()[0]
