@@ -166,21 +166,24 @@ def functional_sweep(models=("squeezenet", "transformer"),
 def serving_sweep(models=("squeezenet",), traffics=("uniform", "bursty",
                                                     "zipfian"),
                   cache_policies=("none", "request_exact", "vector_trust"),
-                  batch_sizes=(8,), num_requests: int = 200,
+                  batch_sizes=(8,), shard_counts=(1,),
+                  admissions=("always",), num_requests: int = 200,
                   processes: int | None = None):
     """Inference-serving sweep companion to the other two grids.
 
-    Each point replays a deterministic load-generator trace through an
-    :class:`repro.serving.InferenceServer` and records throughput,
-    latency percentiles, hit rates and exactness against the
-    engine-less forward oracle.  Returns a
-    :class:`repro.analysis.serving_sweep.ServingSweepResults`.
+    Each point replays a deterministic load-generator trace through a
+    (possibly sharded) :class:`repro.serving.InferenceServer` and
+    records throughput, latency percentiles, hit rates, per-shard
+    balance and exactness against the engine-less forward oracle.
+    Returns a :class:`repro.analysis.serving_sweep.ServingSweepResults`.
     """
     from repro.analysis.serving_sweep import (build_serving_grid,
                                               run_serving_sweep)
     points = build_serving_grid(models=models, traffics=traffics,
                                 cache_policies=cache_policies,
                                 batch_sizes=batch_sizes,
+                                shard_counts=shard_counts,
+                                admissions=admissions,
                                 num_requests=num_requests)
     return run_serving_sweep(points, processes=processes)
 

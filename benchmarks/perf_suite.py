@@ -22,7 +22,11 @@ oracles — the dominant costs this overhaul removed:
   batched them into one multi-group signature/group-by phase
   (`batch_channel_groups=False` replays the per-call loop);
 * cache-less serving — the serving segment replays one Zipfian trace
-  without and with the cross-request exact cache.
+  without and with the cross-request exact cache;
+* single-backend serving — the sharded segment replays one saturating
+  Zipfian trace on one backend worker vs four consistent-hash shards,
+  comparing the replay's simulated per-worker makespan (the scale-out
+  win an in-process replay cannot show in wall clock).
 
 The remaining rewrites (vectorised pooling, cached conv weight views,
 the stateless ``simulate`` fast path, engine micro-optimisations) have
@@ -287,6 +291,44 @@ def segment_serving_reuse(quick: bool, repeats: int) -> dict:
                     pool_size=len(pool), traffic="zipfian")
 
 
+def segment_serving_sharded(quick: bool, repeats: int) -> dict:
+    """Sharded serving scale-out: the whole trace on one backend worker
+    (the pre-shard facade) vs four signature-routed shards draining
+    their queues in parallel on the replay's simulated clock."""
+    from repro.models.registry import build_model
+    from repro.serving import (BatcherConfig, InferenceServer,
+                               ServingPolicy, TrafficConfig,
+                               build_request_pool, generate_trace)
+
+    num_requests = 160 if quick else 480
+    shard_count = 4
+    pool = build_request_pool("squeezenet", pool_size=48, image_size=12,
+                              seed=0)
+    # A saturating arrival rate keeps the makespan compute-bound, so
+    # the comparison measures worker parallelism, not trace duration.
+    trace = generate_trace(TrafficConfig(pattern="zipfian",
+                                         num_requests=num_requests,
+                                         rate_rps=200000.0, seed=1),
+                           len(pool))
+
+    def makespan(shards: int) -> float:
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        policy = ServingPolicy(request_cache=True, vector_cache=False,
+                               exact_check=True, compute="batched")
+        server = InferenceServer(model, policy,
+                                 BatcherConfig(max_batch_size=8,
+                                               max_wait_s=0.001),
+                                 shards=shards)
+        _, report = server.replay(trace, pool)
+        return report.simulated_makespan_s
+
+    before = min(makespan(1) for _ in range(max(repeats, 1)))
+    after = min(makespan(shard_count) for _ in range(max(repeats, 1)))
+    return _segment(before, after, num_requests=num_requests,
+                    pool_size=len(pool), shards=shard_count,
+                    traffic="zipfian")
+
+
 def segment_functional_sweep(points) -> dict:
     """The reference sweep end to end: seed implementations and paired
     baselines vs the current hot path with shared baselines."""
@@ -317,6 +359,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "train_step": segment_train_step(quick, repeats),
         "conv_group_batching": segment_conv_group_batching(quick, repeats),
         "serving_reuse": segment_serving_reuse(quick, repeats),
+        "serving_sharded": segment_serving_sharded(quick, repeats),
         "baseline_memoization": segment_baseline_memoization(points),
         "functional_sweep": segment_functional_sweep(points),
     }
@@ -332,13 +375,24 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
     }
 
 
-def check_floors(payload: dict, floor: float) -> list[str]:
-    """The CI gate: im2col and baseline memoization must hold the floor."""
+def check_floors(payload: dict, floor: float,
+                 sharded_floor: float = 1.2) -> list[str]:
+    """The CI gate: im2col and baseline memoization must hold ``floor``;
+    the 4-shard serving makespan must beat the single worker by
+    ``sharded_floor`` (consistent-hash balance caps it below the ideal
+    4x, so its floor is separate and conservative)."""
     failures = []
-    for name in ("im2col", "baseline_memoization"):
-        speedup = payload["speedups"][name]
-        if speedup < floor:
-            failures.append(f"{name}: {speedup:.2f}x < required {floor:.2f}x")
+    floors = {"im2col": floor, "baseline_memoization": floor,
+              "serving_sharded": sharded_floor}
+    for name, required in floors.items():
+        speedup = payload["speedups"].get(name)
+        if speedup is None:
+            # A gated segment that vanished (renamed, or its runner
+            # dropped it) must fail loudly, not pass vacuously.
+            failures.append(f"{name}: segment missing from the payload")
+        elif speedup < required:
+            failures.append(
+                f"{name}: {speedup:.2f}x < required {required:.2f}x")
     return failures
 
 
@@ -365,6 +419,9 @@ def main(argv=None) -> int:
     parser.add_argument("--floor", type=float, default=1.5,
                         help="minimum im2col / baseline-memoization "
                              "speedup for --check (default 1.5)")
+    parser.add_argument("--sharded-floor", type=float, default=1.2,
+                        help="minimum 4-shard serving makespan speedup "
+                             "for --check (default 1.2)")
     args = parser.parse_args(argv)
 
     payload = run_suite(quick=args.quick, repeats=args.repeats)
@@ -377,7 +434,8 @@ def main(argv=None) -> int:
         print(f"wrote {args.output}")
 
     if args.check:
-        failures = check_floors(payload, args.floor)
+        failures = check_floors(payload, args.floor,
+                                sharded_floor=args.sharded_floor)
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}")

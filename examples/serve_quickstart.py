@@ -1,8 +1,10 @@
 """Serve a trained model with cross-request computation reuse.
 
 Trains a small SqueezeNet, stands up an :class:`InferenceServer` with
-the request-granularity exact cache, and replays a Zipfian (hot-key)
-load-generator trace through the micro-batching queue.  The served
+the request-granularity exact cache — optionally sharded over several
+workers with signature-hash routing (``--shards``) — and replays a
+Zipfian (hot-key) load-generator trace through the micro-batching
+queue(s).  The served
 outputs are checked byte-for-byte against the engine-less per-request
 forward oracle — cross-request reuse with ``exact_check`` only ever
 copies an output the oracle computation produced for an identical
@@ -11,11 +13,14 @@ payload — and the reuse/latency telemetry is printed.
     python examples/serve_quickstart.py
     python examples/serve_quickstart.py --traffic bursty --requests 200 \
         --check --p99-floor-ms 250
+    python examples/serve_quickstart.py --shards 4 --check
     python examples/serve_quickstart.py --http  # also smoke the HTTP door
 
 ``--check`` turns the run into a gate (the CI serving-smoke job): it
 exits non-zero unless the hit rate is positive, the outputs match the
-oracle bit-for-bit, and p99 latency stays under the floor.
+oracle bit-for-bit, and p99 latency stays under the floor — at any
+shard count, since exact per-request serving is byte-identical to the
+oracle no matter how requests are routed.
 """
 
 from __future__ import annotations
@@ -56,6 +61,9 @@ def main(argv=None) -> int:
     parser.add_argument("--pool-size", type=int, default=24)
     parser.add_argument("--epochs", type=int, default=2)
     parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker shards behind the signature-hash "
+                             "router")
     parser.add_argument("--vector-cache", action="store_true",
                         help="layer the per-layer vector cache under the "
                              "request cache")
@@ -92,7 +100,8 @@ def main(argv=None) -> int:
                            exact_check=True, compute="per_request")
     server = InferenceServer(model, policy,
                              BatcherConfig(max_batch_size=args.batch_size,
-                                           max_wait_s=0.001))
+                                           max_wait_s=0.001),
+                             shards=args.shards)
     outputs, report = server.replay(trace, pool)
 
     print(f"served {report.requests} requests in {report.duration_s:.2f}s "
@@ -104,6 +113,11 @@ def main(argv=None) -> int:
           f"{report.request_cache['intra_hits']} intra-batch hits)")
     print(f"latency: p50 {report.latency_p50_ms:.2f} ms, "
           f"p99 {report.latency_p99_ms:.2f} ms")
+    if args.shards > 1:
+        shares = ", ".join(f"shard {row['shard']}: {row['requests']} reqs "
+                           f"{row['hit_rate']:.0%}"
+                           for row in report.shard_stats)
+        print(f"sharded over {report.shards} workers ({shares})")
     if args.vector_cache:
         print(f"vector cache: {report.vector_cache['hit_rate']:.2%} row "
               f"hit rate across {len(report.layer_stats)} layer records")

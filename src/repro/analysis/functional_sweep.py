@@ -47,13 +47,14 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import ClassVar
 
 import numpy as np
 
 from repro.accelerator.mercury_sim import MercurySimulator
-from repro.analysis.grid import GridResults, expand_grid, run_grid
+from repro.analysis.grid import (GridResults, expand_grid,
+                                point_row, run_grid)
 from repro.core.config import MercuryConfig
 from repro.core.reuse import ExactCountingEngine, ReuseEngine
 from repro.data.loaders import train_test_split
@@ -330,8 +331,7 @@ def evaluate_functional_point(point: FunctionalPoint,
     # actually did.
     report = MercurySimulator(config).simulate(engine.stats, point.model)
 
-    row = dict(asdict(point))
-    row.update({
+    row = point_row(point, {
         "baseline_accuracy": float(baseline_result.final_validation_accuracy),
         "reuse_accuracy": float(reuse_result.final_validation_accuracy),
         "accuracy_delta": float(reuse_result.final_validation_accuracy
@@ -349,8 +349,7 @@ def evaluate_functional_point(point: FunctionalPoint,
         "signature_fraction": float(report.signature_fraction),
         "baseline_cycles": float(report.baseline_total_cycles),
         "mercury_cycles": float(report.mercury_total_cycles),
-        "elapsed_s": time.perf_counter() - start,
-    })
+    }, started=start)
     return row
 
 
@@ -379,8 +378,7 @@ class FunctionalSweepResults(GridResults):
     def summary(self) -> dict:
         """Accuracy impact and modeled speedup across the grid."""
         return {
-            "points": len(self.rows),
-            "elapsed_s": self.elapsed_s,
+            **self.base_summary(),
             "geomean_speedup": self.geomean("speedup"),
             "mean_accuracy_delta": float(np.mean(
                 [row["accuracy_delta"] for row in self.rows])),

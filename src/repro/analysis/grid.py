@@ -10,9 +10,12 @@ a persistable results object.  This module holds that common shape:
 
 * :func:`expand_grid` — deterministic cross-product expansion;
 * :func:`run_grid` — the fan-out executor with an in-process fallback;
+* :func:`point_row` — the shared result-row assembly (the point's
+  scenario axes + the measured metrics + ``elapsed_s``), so no sweep
+  family hand-rolls its envelope fields;
 * :class:`GridResults` — the base results container with the shared
   JSON envelope (``{"schema": ..., "elapsed_s": ..., "rows": [...]}``),
-  filtering and geometric-mean helpers.
+  filtering, geometric-mean and summary-envelope helpers.
 
 Subclasses set two class attributes: ``schema`` (the marker written
 into and checked against the JSON envelope, so a cycle-sweep file is
@@ -23,6 +26,7 @@ assert).
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 import multiprocessing
@@ -67,6 +71,25 @@ def run_grid(points, evaluate: Callable[[object], dict],
     return rows, time.perf_counter() - start
 
 
+def point_row(point, metrics: Mapping, *,
+              started: float | None = None) -> dict:
+    """Assemble one result row: scenario axes + measured metrics.
+
+    ``point`` is a frozen point dataclass (or a plain mapping); its
+    fields become the row's axis columns, ``metrics`` the measurement
+    columns, and — when ``started`` carries a ``time.perf_counter()``
+    origin — ``elapsed_s`` closes the envelope.  Every sweep family
+    builds its rows through here so the envelope contract
+    (axes ∪ metrics ⊇ ``result_keys``) has a single implementation.
+    """
+    row = dict(dataclasses.asdict(point)) \
+        if dataclasses.is_dataclass(point) else dict(point)
+    row.update(metrics)
+    if started is not None:
+        row["elapsed_s"] = time.perf_counter() - started
+    return row
+
+
 @dataclass
 class GridResults:
     """Aggregated sweep rows with JSON persistence and row queries."""
@@ -103,6 +126,25 @@ class GridResults:
             raise ValueError(
                 f"{path} holds {found!r} results, not {cls.schema!r}")
         return cls(rows=payload["rows"], elapsed_s=payload["elapsed_s"])
+
+    # -- summaries ------------------------------------------------------
+    def base_summary(self) -> dict:
+        """The summary fields every results family shares."""
+        return {"points": len(self.rows), "elapsed_s": self.elapsed_s}
+
+    def column_mean(self, column: str) -> float:
+        return float(np.mean([row[column] for row in self.rows]))
+
+    def column_max(self, column: str) -> float:
+        return float(max(row[column] for row in self.rows))
+
+    def grouped_mean(self, group_by: str, column: str) -> dict[str, float]:
+        """Mean of ``column`` per distinct value of ``group_by``."""
+        groups: dict[str, list[float]] = {}
+        for row in self.rows:
+            groups.setdefault(row[group_by], []).append(row[column])
+        return {key: float(np.mean(values))
+                for key, values in groups.items()}
 
     # -- row queries ----------------------------------------------------
     def matching_rows(self, **filters) -> list[dict]:

@@ -1,16 +1,18 @@
-"""Serving sweep: model × traffic × cache policy × batch size scenarios.
+"""Serving sweep: model × traffic × cache policy × shards × admission grid.
 
 The third sweep family, next to the cycle-model sweep
 (:mod:`repro.analysis.sweep`) and the training-accuracy sweep
 (:mod:`repro.analysis.functional_sweep`): each :class:`ServingPoint`
 names a model, a traffic pattern from the load generator, a cache
-configuration and a micro-batch size; evaluating it replays the
-deterministic trace through an :class:`~repro.serving.server.InferenceServer`
-and records
+configuration, a micro-batch size, a worker-shard count and an
+admission policy; evaluating it replays the deterministic trace
+through a (possibly sharded)
+:class:`~repro.serving.server.InferenceServer` and records
 
 * throughput and p50/p95/p99 latency (simulated queue wait + measured
   compute),
-* request- and vector-level hit statistics,
+* request- and vector-level hit statistics, plus per-shard hit rates
+  and the request-balance factor of the consistent-hash routing,
 * output exactness against the engine-less per-request forward oracle
   (bit-identical fraction and maximum absolute deviation).
 
@@ -24,13 +26,14 @@ from __future__ import annotations
 
 import argparse
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import ClassVar
 
 import numpy as np
 
 from repro.analysis.functional_sweep import derive_seed
-from repro.analysis.grid import GridResults, expand_grid, run_grid
+from repro.analysis.grid import GridResults, expand_grid, point_row, run_grid
+from repro.core.session import ADMISSION_POLICIES
 from repro.models.registry import MODEL_NAMES, build_model, get_spec
 from repro.serving.batcher import BatcherConfig
 from repro.serving.engine import ServingPolicy
@@ -64,6 +67,7 @@ SERVING_RESULT_KEYS = frozenset({
     "throughput_rps", "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
     "hit_rate", "request_hit_rate", "vector_hit_rate",
     "batches", "mean_batch_size",
+    "shards", "admission", "shard_balance", "simulated_makespan_s",
     "distinct_payloads", "top_key_share",
     "bit_identical_fraction", "max_abs_deviation",
     "compute_time_s", "elapsed_s",
@@ -89,6 +93,8 @@ class ServingPoint:
     signature_bits: int = 32
     image_size: int = 12
     max_wait_ms: float = 1.0
+    shards: int = 1
+    admission: str = "always"
     seed: int = 0
 
     def __post_init__(self):
@@ -103,6 +109,11 @@ class ServingPoint:
             raise ValueError("batch_size must be positive")
         if self.num_requests <= 0 or self.pool_size <= 0:
             raise ValueError("num_requests and pool_size must be positive")
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(f"unknown admission {self.admission!r}; "
+                             f"choose from {ADMISSION_POLICIES}")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
 
@@ -111,12 +122,15 @@ def build_serving_grid(models=("squeezenet",),
                        traffics=TRAFFIC_PATTERNS,
                        cache_policies=("none", "request_exact",
                                        "vector_trust"),
-                       batch_sizes=(8,), seeds=(0,),
+                       batch_sizes=(8,), shard_counts=(1,),
+                       admissions=("always",), seeds=(0,),
                        **fixed) -> list[ServingPoint]:
     """Cross product of the serving scenario axes."""
     combos = expand_grid({"model": models, "traffic": traffics,
                           "cache_policy": cache_policies,
-                          "batch_size": batch_sizes, "seed": seeds})
+                          "batch_size": batch_sizes,
+                          "shards": shard_counts,
+                          "admission": admissions, "seed": seeds})
     return [ServingPoint(**combo, **fixed) for combo in combos]
 
 
@@ -124,6 +138,7 @@ def policy_for(point: ServingPoint) -> ServingPolicy:
     return ServingPolicy(entries=point.entries, ways=point.ways,
                          ttl_batches=point.ttl_batches,
                          signature_bits=point.signature_bits,
+                         admission=point.admission,
                          **CACHE_POLICIES[point.cache_policy])
 
 
@@ -144,7 +159,8 @@ def serving_pieces(point: ServingPoint):
     server = InferenceServer(
         model, policy_for(point),
         BatcherConfig(max_batch_size=point.batch_size,
-                      max_wait_s=point.max_wait_ms / 1e3))
+                      max_wait_s=point.max_wait_ms / 1e3),
+        shards=point.shards)
     return model, pool, trace, server
 
 
@@ -166,8 +182,10 @@ def evaluate_serving_point(point: ServingPoint) -> dict:
         max_deviation = max(max_deviation, deviation)
 
     shape = trace_summary(trace)
-    row = dict(asdict(point))
-    row.update({
+    shard_requests = [row["requests"] for row in report.shard_stats]
+    mean_share = sum(shard_requests) / len(shard_requests) \
+        if shard_requests else 0.0
+    row = point_row(point, {
         "throughput_rps": float(report.throughput_rps),
         "latency_p50_ms": float(report.latency_p50_ms),
         "latency_p95_ms": float(report.latency_p95_ms),
@@ -184,8 +202,16 @@ def evaluate_serving_point(point: ServingPoint) -> dict:
         "max_abs_deviation": max_deviation,
         "compute_time_s": float(server._compute_time_s),
         "layer_stats": report.layer_stats,
-        "elapsed_s": time.perf_counter() - start,
-    })
+        # Shard-level columns: per-shard hit rates and how evenly the
+        # consistent-hash routing spread the requests (1.0 = perfectly
+        # balanced; the heaviest shard's requests over the fair share).
+        "shard_hit_rates": [float(row["hit_rate"])
+                            for row in report.shard_stats],
+        "shard_requests": [int(count) for count in shard_requests],
+        "shard_balance": float(max(shard_requests) / mean_share)
+        if mean_share else 1.0,
+        "simulated_makespan_s": float(report.simulated_makespan_s),
+    }, started=start)
     return row
 
 
@@ -198,28 +224,21 @@ class ServingSweepResults(GridResults):
 
     # -- summaries ------------------------------------------------------
     def hit_rate_by_policy(self) -> dict[str, float]:
-        rates: dict[str, list[float]] = {}
-        for row in self.rows:
-            rates.setdefault(row["cache_policy"], []).append(row["hit_rate"])
-        return {policy: float(np.mean(values))
-                for policy, values in rates.items()}
+        return self.grouped_mean("cache_policy", "hit_rate")
 
     def summary(self) -> dict:
+        summary = self.base_summary()
         if not self.rows:
-            return {"points": 0, "elapsed_s": self.elapsed_s}
-        return {
-            "points": len(self.rows),
-            "elapsed_s": self.elapsed_s,
-            "mean_hit_rate": float(np.mean(
-                [row["hit_rate"] for row in self.rows])),
+            return summary
+        summary.update({
+            "mean_hit_rate": self.column_mean("hit_rate"),
             "hit_rate_by_policy": self.hit_rate_by_policy(),
-            "mean_throughput_rps": float(np.mean(
-                [row["throughput_rps"] for row in self.rows])),
-            "worst_p99_ms": float(max(
-                row["latency_p99_ms"] for row in self.rows)),
-            "max_abs_deviation": float(max(
-                row["max_abs_deviation"] for row in self.rows)),
-        }
+            "mean_throughput_rps": self.column_mean("throughput_rps"),
+            "worst_p99_ms": self.column_max("latency_p99_ms"),
+            "max_abs_deviation": self.column_max("max_abs_deviation"),
+            "worst_shard_balance": self.column_max("shard_balance"),
+        })
+        return summary
 
 
 def run_serving_sweep(points, processes: int | None = None
@@ -244,6 +263,11 @@ def main(argv=None) -> int:
                         default=["none", "request_exact", "vector_trust"],
                         choices=sorted(CACHE_POLICIES), metavar="POLICY")
     parser.add_argument("--batch-sizes", nargs="+", type=int, default=[8])
+    parser.add_argument("--shards", nargs="+", type=int, default=[1],
+                        help="worker-shard counts to sweep")
+    parser.add_argument("--admissions", nargs="+", default=["always"],
+                        choices=list(ADMISSION_POLICIES), metavar="POLICY",
+                        help="cache admission policies to sweep")
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--pool-size", type=int, default=24)
     parser.add_argument("--seeds", nargs="+", type=int, default=[0])
@@ -256,6 +280,8 @@ def main(argv=None) -> int:
     points = build_serving_grid(models=args.models, traffics=args.traffics,
                                 cache_policies=args.cache_policies,
                                 batch_sizes=args.batch_sizes,
+                                shard_counts=args.shards,
+                                admissions=args.admissions,
                                 seeds=args.seeds,
                                 num_requests=args.requests,
                                 pool_size=args.pool_size)

@@ -26,7 +26,7 @@ Typical use (see also ``examples/sweep_all.py``)::
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import ClassVar
 
@@ -35,7 +35,8 @@ import numpy as np
 from repro.accelerator.dataflow import make_dataflow
 from repro.accelerator.mercury_sim import MercurySimulator
 from repro.accelerator.workloads import build_workload, workload_to_stats
-from repro.analysis.grid import GridResults, expand_grid, run_grid
+from repro.analysis.grid import (GridResults, expand_grid,
+                                point_row, run_grid)
 from repro.core.config import MercuryConfig
 from repro.core.mcache_vec import VectorizedMCache
 
@@ -135,9 +136,9 @@ def evaluate_point(point: SweepPoint) -> dict:
                                  dataflow=make_dataflow(point.dataflow))
     report = simulator.simulate(stats, point.model,
                                 apply_analytic_stoppage=True)
-    row = {**asdict(point), **report.to_dict(), "hit_scale": hit_scale,
-           "hit_scale_raw": raw_hit_scale,
-           "elapsed_s": time.perf_counter() - start}
+    row = point_row(point, {**report.to_dict(), "hit_scale": hit_scale,
+                            "hit_scale_raw": raw_hit_scale},
+                    started=start)
     return row
 
 
@@ -166,8 +167,7 @@ class SweepResults(GridResults):
         """Per-dataflow geomeans plus the overall best configurations."""
         dataflows = sorted({row["dataflow"] for row in self.rows})
         return {
-            "points": len(self.rows),
-            "elapsed_s": self.elapsed_s,
+            **self.base_summary(),
             "geomean_by_dataflow": {name: self.geomean_speedup(dataflow=name)
                                     for name in dataflows},
             "best_per_model": {model: {"dataflow": row["dataflow"],

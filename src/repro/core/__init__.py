@@ -12,6 +12,13 @@ from repro.core.differential import (
     scalar_reference_simulation,
 )
 from repro.core.reuse import ReuseEngine
+from repro.core.session import (
+    ADMISSION_POLICIES,
+    CacheCounters,
+    ReuseSession,
+    ServeOutcome,
+    SessionPolicy,
+)
 from repro.core.stats import LayerReuseStats, ReuseStats
 from repro.core.adaptation import SignatureLengthScheduler, SimilarityStoppage
 
@@ -29,6 +36,11 @@ __all__ = [
     "run_differential",
     "scalar_reference_simulation",
     "ReuseEngine",
+    "ADMISSION_POLICIES",
+    "CacheCounters",
+    "ReuseSession",
+    "ServeOutcome",
+    "SessionPolicy",
     "LayerReuseStats",
     "ReuseStats",
     "SignatureLengthScheduler",

@@ -24,12 +24,9 @@ import numpy as np
 
 from repro.core.adaptation import SignatureLengthScheduler, SimilarityStoppage
 from repro.core.config import MercuryConfig
-from repro.core.differential import scalar_reference_simulation
-from repro.core.hitmap import Hitmap, HitState
-from repro.core.hitmap_sim import (HitmapSimulation, simulate_hitmap,
-                                   simulate_hitmap_grouped)
-from repro.core.mcache_vec import VectorizedMCache
+from repro.core.hitmap_sim import HitmapSimulation
 from repro.core.rpq import RPQHasher
+from repro.core.session import ReuseSession, SessionPolicy
 from repro.core.signature import SignatureTable
 from repro.core.stats import ReuseStats
 
@@ -81,13 +78,24 @@ class ReuseEngine:
             stoppage_batches=self.config.stoppage_batches,
             pipelined_signatures=self.config.pipelined_signatures)
         self.iterations = 0
-        # The batch MCACHE behind the "vectorized" backend.  One
-        # persistent instance so its access counters characterise the
-        # whole run (Figure 15a); the signature phase clears it per
-        # layer, matching the hardware's per-channel flush.
-        self.mcache = VectorizedMCache(entries=self.config.mcache_entries,
-                                       ways=self.config.mcache_ways,
-                                       versions=self.config.mcache_versions)
+        # The shared probe/insert + cache-ride core, in flash mode: the
+        # signature phase sees a freshly-cleared MCACHE per layer call,
+        # matching the hardware's per-channel flush.  The serving
+        # engines build on the same ReuseSession in persistent mode, so
+        # the two cannot drift.  ``session.mcache`` is the one batch
+        # MCACHE behind the "vectorized" backend — one persistent
+        # instance so its access counters characterise the whole run
+        # (Figure 15a).
+        self.session = ReuseSession(
+            SessionPolicy(signature_bits=self.config.signature_bits,
+                          entries=self.config.mcache_entries,
+                          ways=self.config.mcache_ways,
+                          exact_check=False,
+                          rpq_seed=self.config.rpq_seed),
+            hasher=self.hasher, persistent=False,
+            backend=self.config.mcache_backend,
+            versions=self.config.mcache_versions)
+        self.mcache = self.session.mcache
         # Last Hitmap simulation per (layer, phase), exposed for tests
         # and for the accelerator simulator (call ``.to_hitmap()`` for a
         # full Hitmap object).
@@ -134,22 +142,11 @@ class ReuseEngine:
     def _build_hitmap(self, signatures: np.ndarray) -> HitmapSimulation:
         """Simulate the MCACHE signature phase for every vector (Figure 9).
 
-        The three backends are bit-identical (the differential suite
-        asserts it); they differ only in speed and in what they model:
-        ``vectorized`` probes the persistent batch MCACHE, ``groupby``
-        runs the stateless numpy simulation and ``scalar`` replays the
-        line-level oracle one probe at a time.
+        Delegates to the flash-mode :class:`ReuseSession`, the single
+        home of the backend dispatch (all three backends stay
+        bit-identical — the differential suite asserts it).
         """
-        backend = self.config.mcache_backend
-        if backend == "vectorized":
-            return self.mcache.simulate(signatures)
-        if backend == "scalar":
-            return scalar_reference_simulation(
-                signatures, num_sets=self.config.mcache_sets,
-                ways=self.config.mcache_ways)
-        return simulate_hitmap(signatures,
-                               num_sets=self.config.mcache_sets,
-                               ways=self.config.mcache_ways)
+        return self.session.classify(signatures)
 
     # ------------------------------------------------------------------
     def matmul(self, vectors: np.ndarray, weights: np.ndarray, *,
@@ -176,17 +173,7 @@ class ReuseEngine:
 
         signatures, reloaded = self._signatures_for(vectors, layer, phase)
         simulation = self._build_hitmap(signatures)
-
-        if simulation.hits:
-            hit_mask = simulation.states == HitState.HIT
-            compute_mask = ~hit_mask
-            result = np.empty((num_vectors, num_filters), dtype=np.float64)
-            result[compute_mask] = vectors[compute_mask] @ weights
-            result[hit_mask] = result[simulation.representative[hit_mask]]
-        else:
-            # Nothing to copy: skip the per-element object-dtype state
-            # comparison and the masked gather/scatter round trip.
-            result = vectors @ weights
+        result = ReuseSession.ride(vectors, weights, simulation)
 
         if phase == "forward":
             self.signature_table.store(layer, vector_length,
@@ -264,16 +251,7 @@ class ReuseEngine:
                 groups, weights_list, signature_groups, simulations):
             num_vectors, vector_length = vectors.shape
             num_filters = weights.shape[1]
-            if simulation.hits:
-                hit_mask = simulation.states == HitState.HIT
-                compute_mask = ~hit_mask
-                result = np.empty((num_vectors, num_filters),
-                                  dtype=np.float64)
-                result[compute_mask] = vectors[compute_mask] @ weights
-                result[hit_mask] = result[simulation.representative[hit_mask]]
-            else:
-                result = vectors @ weights
-            results.append(result)
+            results.append(ReuseSession.ride(vectors, weights, simulation))
 
             # Per-group bookkeeping mirrors the per-call loop exactly:
             # the table record is overwritten per group (last group
@@ -291,39 +269,9 @@ class ReuseEngine:
         return results
 
     def _build_hitmaps_grouped(self, signature_groups) -> list[HitmapSimulation]:
-        """One Hitmap per group, through the configured backend.
-
-        The vectorized and groupby backends share the multi-group
-        group-by; the scalar oracle replays its line-level model per
-        group.  All backends stay bit-identical to per-call simulation.
-        """
-        backend = self.config.mcache_backend
-        if backend == "scalar":
-            return [scalar_reference_simulation(
-                signatures, num_sets=self.config.mcache_sets,
-                ways=self.config.mcache_ways)
-                for signatures in signature_groups]
-        # One signature length is in force for the whole call, so the
-        # groups share a packed representation: all 1-D int64 or all
-        # multi-word 2-D with the same word count.
-        if signature_groups[0].ndim == 2:
-            stacked = np.vstack(signature_groups)
-        else:
-            stacked = np.concatenate(signature_groups)
-        simulations = simulate_hitmap_grouped(
-            stacked, [len(sigs) for sigs in signature_groups],
-            num_sets=self.config.mcache_sets, ways=self.config.mcache_ways,
-            signature_bits=self.signature_bits)
-        if backend == "vectorized":
-            # The persistent batch MCACHE's simulate() path is "clear,
-            # replay, accumulate counters"; mirror it so its stats
-            # characterise the run identically.
-            self.mcache.clear()
-            for simulation in simulations:
-                self.mcache.stats.hits += simulation.hits
-                self.mcache.stats.mau += simulation.mau
-                self.mcache.stats.mnu += simulation.mnu
-        return simulations
+        """One Hitmap per group, via the session's multi-group phase."""
+        return self.session.classify_groups(signature_groups,
+                                            self.signature_bits)
 
     # ------------------------------------------------------------------
     def _record(self, layer: str, phase: str, *, vectors: int, hits: int,

@@ -1,0 +1,672 @@
+"""The shared reuse-session core of the training and serving engines.
+
+Before this module existed the probe/insert + cache-ride logic lived
+twice: once in the training :class:`~repro.core.reuse.ReuseEngine`
+(signatures → Hitmap over a freshly-cleared MCACHE → copy HIT rows) and
+once in the serving ``SignatureResultCache`` (signatures → persistent
+probe/insert → serve cached rows, admit fresh ones).  The two copies
+had started to drift; :class:`ReuseSession` is now the single
+implementation, instantiated in one of two modes:
+
+* **flash** (``persistent=False``) — the training semantics: every
+  :meth:`classify` call sees a freshly-cleared MCACHE, so similarity is
+  exploited only *within* one batch (the paper's per-layer flush).  The
+  engine drives the two phases separately — :meth:`classify` builds the
+  Hitmap through the configured backend, :meth:`ride` performs the
+  compute-misses/copy-hits assembly;
+* **persistent** (``persistent=True``) — the serving semantics: cache
+  state survives across :meth:`serve` calls, entries age by micro-batch
+  (:attr:`SessionPolicy.ttl_batches`), hits may be payload-verified
+  (``exact_check``) and insertion is governed by an admission policy.
+
+Persistent sessions also support :meth:`state_dict` /
+:meth:`load_state_dict` so a serving cache can be snapshotted to disk
+and warm-started after a restart; the restore rebuilds the MCACHE by
+re-inserting the resident signatures in entry-id order, which
+reproduces the exact (set, way, entry-id) placement because insertion
+is deterministic first-come.
+
+Admission policies (the ``admission`` axis of :class:`SessionPolicy`):
+
+* ``always`` — every computed signature that finds a free way claims a
+  line (the original behaviour; bit-identical to the pre-policy code);
+* ``frequency`` — a signature is only admitted once it has been seen
+  at least ``admission_min_frequency`` times (rows, cumulative across
+  batches); one-shot traffic never pollutes the cache.  The gate's
+  memory is itself bounded (stalest keys are evicted beyond
+  ``4 x entries``), so it cannot grow without limit either;
+* ``size`` — a signature is only admitted while its stored payload
+  (``vector length x 8`` bytes) stays within ``admission_max_bytes``;
+  oversized streams are computed every time.
+
+Non-admitted signatures are counted as *rejected*, exactly like a
+signature whose set was full (the paper's MNU): computed, not stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.differential import scalar_reference_simulation
+from repro.core.hitmap import HitState
+from repro.core.hitmap_sim import (HitmapSimulation, simulate_hitmap,
+                                   simulate_hitmap_grouped)
+from repro.core.mcache_vec import VectorizedMCache
+from repro.core.rpq import RPQHasher, unique_signatures
+
+ADMISSION_POLICIES = ("always", "frequency", "size")
+
+#: Version of the :meth:`ReuseSession.state_dict` layout.  Bump when the
+#: array/meta contract changes; ``load_state_dict`` rejects mismatches.
+STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SessionPolicy:
+    """Knobs of one reuse session — the shared core of ``ServingPolicy``.
+
+    ``entries``/``ways`` give the MCACHE geometry: capacity is enforced
+    the paper's way — no replacement; a signature whose set is full is
+    computed every time (MNU).  ``ttl_batches`` bounds entry age: a hit
+    on an entry inserted more than that many micro-batches ago is
+    *refreshed* — recomputed and rewritten in place with its age reset —
+    so stale traffic cannot pin results forever.  ``0`` means "expire
+    immediately": an entry is only ever served within the micro-batch
+    index that wrote it, so cross-batch reuse is disabled while
+    intra-batch dedup keeps working.  ``None`` means entries never
+    expire.  ``admission`` selects how computed signatures earn a cache
+    line (see the module docstring).
+    """
+
+    # Signature / capacity knobs.
+    signature_bits: int = 32
+    entries: int = 4096
+    ways: int = 16
+    ttl_batches: int | None = None
+    # Collision safety: verify the stored payload equals the incoming
+    # one before serving a hit; mismatches are demoted to computes.
+    exact_check: bool = True
+    # Insertion gate: "always", "frequency" or "size".
+    admission: str = "always"
+    admission_min_frequency: int = 2
+    admission_max_bytes: int | None = None
+    rpq_seed: int = 1234
+
+    def __post_init__(self):
+        if self.signature_bits <= 0:
+            raise ValueError("signature_bits must be positive")
+        if self.entries <= 0 or self.ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if self.entries % self.ways != 0:
+            raise ValueError("entries must be divisible by ways")
+        if self.ttl_batches is not None and self.ttl_batches < 0:
+            raise ValueError("ttl_batches must be >= 0 (0 = expire "
+                             "immediately) or None (never expire)")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(f"unknown admission {self.admission!r}; "
+                             f"choose from {ADMISSION_POLICIES}")
+        if self.admission_min_frequency <= 0:
+            raise ValueError("admission_min_frequency must be positive")
+        if self.admission_max_bytes is not None \
+                and self.admission_max_bytes <= 0:
+            raise ValueError("admission_max_bytes must be positive "
+                             "(or None)")
+
+    def replace(self, **changes) -> "SessionPolicy":
+        from dataclasses import replace as dc_replace
+        return dc_replace(self, **changes)
+
+    def fingerprint(self) -> dict:
+        """The JSON-safe identity a snapshot must match to be restored."""
+        return {"signature_bits": self.signature_bits,
+                "entries": self.entries, "ways": self.ways,
+                "ttl_batches": self.ttl_batches,
+                "exact_check": self.exact_check,
+                "admission": self.admission,
+                "admission_min_frequency": self.admission_min_frequency,
+                "admission_max_bytes": self.admission_max_bytes,
+                "rpq_seed": self.rpq_seed}
+
+
+@dataclass
+class CacheCounters:
+    """Row-level outcome counters of one persistent :class:`ReuseSession`."""
+
+    requests: int = 0          # rows probed
+    cross_hits: int = 0        # rows served from an earlier batch's entry
+    intra_hits: int = 0        # duplicate rows within one batch
+    computed: int = 0          # rows actually multiplied/forwarded
+    inserted: int = 0          # computed rows admitted into the cache
+    rejected: int = 0          # computed rows denied a line (set full
+    #                            MNU, or vetoed by the admission policy)
+    expired: int = 0           # hits demoted by TTL (entry refreshed)
+    collisions: int = 0        # exact-check demotions (signature aliasing)
+
+    @property
+    def hits(self) -> int:
+        return self.cross_hits + self.intra_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        return {"requests": self.requests, "cross_hits": self.cross_hits,
+                "intra_hits": self.intra_hits, "computed": self.computed,
+                "inserted": self.inserted, "rejected": self.rejected,
+                "expired": self.expired, "collisions": self.collisions,
+                "hit_rate": self.hit_rate}
+
+    def merge(self, other: "CacheCounters") -> "CacheCounters":
+        for name, value in vars(other).items():
+            setattr(self, name, getattr(self, name) + value)
+        return self
+
+    @classmethod
+    def aggregate(cls, counters) -> "CacheCounters":
+        total = cls()
+        for item in counters:
+            total.merge(item)
+        return total
+
+
+@dataclass
+class ServeOutcome:
+    """Reuse decisions of one :meth:`ReuseSession.serve` call."""
+
+    rows: int = 0
+    unique: int = 0
+    cross_hit_rows: int = 0
+    intra_hit_rows: int = 0
+    aliased_rows: int = 0
+    reused_unique: int = 0
+    computed_unique: int = 0
+    inserted_unique: int = 0
+    rejected_unique: int = 0
+
+    @property
+    def hit_rows(self) -> int:
+        return self.cross_hit_rows + self.intra_hit_rows
+
+
+class ReuseSession:
+    """One signature→result reuse step, flash-clear or persistent.
+
+    One instance serves one stream of equal-length vectors (a request
+    payload shape, or one layer's input vectors).  Probing, admission
+    and the result store ride on the persistent batch machinery of
+    :class:`~repro.core.mcache_vec.VectorizedMCache`
+    (``lookup_or_insert_batch`` + the data phase), so capacity behaves
+    exactly like the hardware structure: set-associative, no
+    replacement.
+    """
+
+    def __init__(self, policy: SessionPolicy, hasher: RPQHasher | None = None,
+                 *, persistent: bool = True, backend: str = "vectorized",
+                 versions: int = 1):
+        self.policy = policy
+        self.hasher = hasher or RPQHasher(seed=policy.rpq_seed)
+        self.persistent = persistent
+        self.backend = backend
+        self.mcache = VectorizedMCache(entries=policy.entries,
+                                       ways=policy.ways, versions=versions)
+        self.num_sets = self.mcache.num_sets
+        self.counters = CacheCounters()
+        # entry id -> micro-batch index of (re)insertion, densely grown
+        # alongside the MCACHE's entry ids.
+        self._entry_batch = np.empty(0, dtype=np.int64)
+        # signature key -> (cumulative row count, last-seen batch): the
+        # frequency admission gate's memory for not-yet-admitted
+        # signatures.  Bounded — one-shot traffic must not grow it
+        # forever in a long-running server — by evicting the stalest
+        # keys once it exceeds ``_seen_capacity`` (deterministic, so
+        # sweep rows stay reproducible).
+        self._seen: dict = {}
+        self._seen_capacity = max(4 * policy.entries, 1024)
+
+    # ------------------------------------------------------------------
+    # Flash phase — the training engine's per-layer Hitmap
+    # ------------------------------------------------------------------
+    def classify(self, signatures) -> HitmapSimulation:
+        """Simulate the MCACHE signature phase for one batch (Figure 9).
+
+        The three backends are bit-identical (the differential suite
+        asserts it); they differ only in speed and in what they model:
+        ``vectorized`` probes the persistent batch MCACHE, ``groupby``
+        runs the stateless numpy simulation and ``scalar`` replays the
+        line-level oracle one probe at a time.
+        """
+        if self.backend == "vectorized":
+            return self.mcache.simulate(signatures)
+        if self.backend == "scalar":
+            return scalar_reference_simulation(signatures,
+                                               num_sets=self.num_sets,
+                                               ways=self.policy.ways)
+        return simulate_hitmap(signatures, num_sets=self.num_sets,
+                               ways=self.policy.ways)
+
+    def classify_groups(self, signature_groups,
+                        signature_bits: int) -> list[HitmapSimulation]:
+        """One Hitmap per group, through the configured backend.
+
+        The vectorized and groupby backends share the multi-group
+        group-by; the scalar oracle replays its line-level model per
+        group.  All backends stay bit-identical to per-call simulation.
+        Each group sees a fresh MCACHE: signatures never match, and
+        never steal ways, across groups.
+        """
+        if self.backend == "scalar":
+            return [scalar_reference_simulation(signatures,
+                                                num_sets=self.num_sets,
+                                                ways=self.policy.ways)
+                    for signatures in signature_groups]
+        # One signature length is in force for the whole call, so the
+        # groups share a packed representation: all 1-D int64 or all
+        # multi-word 2-D with the same word count.
+        if signature_groups[0].ndim == 2:
+            stacked = np.vstack(signature_groups)
+        else:
+            stacked = np.concatenate(signature_groups)
+        simulations = simulate_hitmap_grouped(
+            stacked, [len(sigs) for sigs in signature_groups],
+            num_sets=self.num_sets, ways=self.policy.ways,
+            signature_bits=signature_bits)
+        if self.backend == "vectorized":
+            # The persistent batch MCACHE's simulate() path is "clear,
+            # replay, accumulate counters"; mirror it so its stats
+            # characterise the run identically.
+            self.mcache.clear()
+            for simulation in simulations:
+                self.mcache.stats.hits += simulation.hits
+                self.mcache.stats.mau += simulation.mau
+                self.mcache.stats.mnu += simulation.mnu
+        return simulations
+
+    @staticmethod
+    def ride(vectors: np.ndarray, weights: np.ndarray,
+             simulation: HitmapSimulation) -> np.ndarray:
+        """The cache-ride assembly: compute misses, copy HIT rows."""
+        num_vectors = vectors.shape[0]
+        num_filters = weights.shape[1]
+        if simulation.hits:
+            hit_mask = simulation.states == HitState.HIT
+            compute_mask = ~hit_mask
+            result = np.empty((num_vectors, num_filters), dtype=np.float64)
+            result[compute_mask] = vectors[compute_mask] @ weights
+            result[hit_mask] = result[simulation.representative[hit_mask]]
+        else:
+            # Nothing to copy: skip the per-element object-dtype state
+            # comparison and the masked gather/scatter round trip.
+            result = vectors @ weights
+        return result
+
+    # ------------------------------------------------------------------
+    # Persistent phase — the serving caches
+    # ------------------------------------------------------------------
+    def _grow_entry_batches(self, batch_index: int) -> None:
+        missing = self.mcache._next_entry_id - len(self._entry_batch)
+        if missing > 0:
+            self._entry_batch = np.concatenate(
+                [self._entry_batch,
+                 np.full(missing, batch_index, dtype=np.int64)])
+
+    @staticmethod
+    def _signature_key(value):
+        """A hashable identity for one signature (int64 or words row)."""
+        if isinstance(value, np.ndarray):
+            return value.tobytes()
+        return int(value)
+
+    def _prune_seen(self) -> None:
+        """Evict the stalest frequency-gate entries beyond capacity.
+
+        Sorted by last-seen batch (stably, so ties fall back to
+        insertion order) — deterministic for deterministic traffic.
+        """
+        excess = len(self._seen) - self._seen_capacity
+        if excess <= 0:
+            return
+        stalest = sorted(self._seen, key=lambda key: self._seen[key][1])
+        for key in stalest[:excess]:
+            del self._seen[key]
+
+    def _probe_and_admit(self, uniques, first_index, inverse,
+                         payload_bytes: int, batch_index: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe residents and insert admitted absents.
+
+        Returns ``(states, entry_ids)`` per unique signature, exactly
+        like ``lookup_or_insert_batch`` but with the admission policy
+        deciding which absent signatures may claim a line.  The
+        ``always`` policy takes the original single-call path, so the
+        default behaviour stays bit-identical to the pre-admission
+        code.
+        """
+        if self.policy.admission == "always":
+            return self.mcache.lookup_or_insert_batch(uniques)
+
+        present, entry_ids = self.mcache.probe_batch(uniques)
+        entry_ids = entry_ids.copy()
+        states = np.empty(len(uniques), dtype=object)
+        states[present] = HitState.HIT
+        # Default for absents: no line (the MNU outcome) until admitted.
+        states[~present] = HitState.MNU
+
+        absent = np.flatnonzero(~present)
+        if self.policy.admission == "size":
+            admitted = absent if (
+                self.policy.admission_max_bytes is None
+                or payload_bytes <= self.policy.admission_max_bytes) \
+                else absent[:0]
+        else:  # frequency
+            counts = np.bincount(inverse, minlength=len(uniques))
+            wants = []
+            for position in absent:
+                key = self._signature_key(uniques[position])
+                seen = self._seen.get(key, (0, 0))[0] + int(counts[position])
+                if seen >= self.policy.admission_min_frequency:
+                    self._seen.pop(key, None)
+                    wants.append(position)
+                else:
+                    self._seen[key] = (seen, batch_index)
+            self._prune_seen()
+            admitted = np.asarray(wants, dtype=np.int64)
+
+        if len(admitted):
+            # Insert in first-occurrence (arrival) order so the way
+            # claims match a sequential replay of the batch.
+            arrival = admitted[np.argsort(first_index[admitted],
+                                          kind="stable")]
+            sub_states, sub_ids = self.mcache.lookup_or_insert_batch(
+                uniques[arrival])
+            states[arrival] = sub_states
+            entry_ids[arrival] = sub_ids
+        return states, entry_ids
+
+    def serve(self, vectors: np.ndarray, compute, batch_index: int
+              ) -> tuple[np.ndarray, ServeOutcome]:
+        """Return one result row per input row, reusing where possible.
+
+        ``compute(first_indices)`` receives the row indices (into
+        ``vectors``) of the unique inputs that need computing and must
+        return one result row per index, in order.  Cached rows are
+        served without calling it; duplicates within the batch share
+        one computation.  Returns ``(rows, outcome)`` where ``outcome``
+        details this call's reuse decisions.  In flash mode the session
+        is cleared first, so only intra-batch reuse survives.
+        """
+        if not self.persistent:
+            self.clear()
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError("serve expects 2D (rows, features) vectors")
+        num_rows = len(vectors)
+        counters = self.counters
+        counters.requests += num_rows
+        if num_rows == 0:
+            return np.empty((0, 0)), ServeOutcome()
+
+        signatures = self.hasher.signatures(vectors,
+                                            self.policy.signature_bits)
+        uniques, first_index, inverse = unique_signatures(signatures)
+        num_unique = len(uniques)
+        states, entry_ids = self._probe_and_admit(
+            uniques, first_index, inverse, vectors.shape[1] * 8,
+            batch_index)
+        self._grow_entry_batches(batch_index)
+
+        # Intra-batch aliasing: with ``exact_check`` a row may only
+        # share its signature group's result if it *equals* the group's
+        # first occurrence — a colliding (similar-but-different) row is
+        # computed on its own instead.  Without the check, signature
+        # trust applies within the batch exactly as it does across
+        # batches: that is MERCURY's approximate-reuse semantics.
+        if self.policy.exact_check:
+            aliased = ~(vectors == vectors[first_index[inverse]]).all(axis=1)
+            counters.collisions += int(aliased.sum())
+        else:
+            aliased = np.zeros(num_rows, dtype=bool)
+
+        resident = states == HitState.HIT          # existed before batch
+        inserted = states == HitState.MAU          # claimed a line now
+        rejected = states == HitState.MNU          # set full, no entry
+
+        # Which resident entries may serve their stored result?
+        reusable = resident.copy()
+        refresh = np.zeros(num_unique, dtype=bool)
+        if resident.any():
+            res_idx = np.flatnonzero(resident)
+            res_entries = entry_ids[res_idx]
+            valid = self.mcache.has_data_batch(res_entries)
+            if self.policy.ttl_batches is not None:
+                age = batch_index - self._entry_batch[res_entries]
+                expired = age > self.policy.ttl_batches
+                counters.expired += int(expired.sum())
+                valid &= ~expired
+            stale = res_idx[~valid]
+            reusable[stale] = False
+            refresh[stale] = True
+            if self.policy.exact_check and valid.any():
+                live = res_idx[valid]
+                stored = self.mcache.read_data_batch(entry_ids[live])
+                match = np.fromiter(
+                    (np.array_equal(payload, vectors[row])
+                     for (payload, _), row in zip(stored,
+                                                  first_index[live])),
+                    dtype=bool, count=len(live))
+                collided = live[~match]
+                counters.collisions += len(collided)
+                reusable[collided] = False
+
+        needs_compute = ~reusable
+        aliased_rows = np.flatnonzero(aliased)
+        group_rows = first_index[needs_compute]
+        compute_rows = np.concatenate([group_rows, aliased_rows]) \
+            if len(aliased_rows) else group_rows
+        computed = None
+        if len(compute_rows):
+            computed = np.asarray(compute(compute_rows), dtype=np.float64)
+            if computed.ndim != 2 or len(computed) != len(compute_rows):
+                raise ValueError("compute must return one row per index")
+
+        # Assemble per-unique results: reused rows from the store,
+        # computed rows from the caller.
+        width = computed.shape[1] if computed is not None else \
+            self._stored_width(entry_ids, reusable)
+        unique_rows = np.empty((num_unique, width), dtype=np.float64)
+        if reusable.any():
+            reuse_idx = np.flatnonzero(reusable)
+            stored = self.mcache.read_data_batch(entry_ids[reuse_idx])
+            for position, value in zip(reuse_idx, stored):
+                unique_rows[position] = value[1] if self.policy.exact_check \
+                    else value
+        if computed is not None:
+            unique_rows[needs_compute] = computed[:len(group_rows)]
+
+        # Admit fresh computations: newly claimed lines and refreshed
+        # (expired / data-invalidated) residents.  Collisions keep the
+        # original owner's payload (first-writer-wins); rejected
+        # signatures have no line to write.
+        admit = np.flatnonzero(inserted | refresh)
+        if len(admit):
+            values = np.empty(len(admit), dtype=object)
+            for slot, unique_pos in enumerate(admit):
+                row = np.array(unique_rows[unique_pos], copy=True)
+                if self.policy.exact_check:
+                    payload = np.array(vectors[first_index[unique_pos]],
+                                       copy=True)
+                    values[slot] = (payload, row)
+                else:
+                    values[slot] = row
+            self.mcache.write_data_batch(entry_ids[admit], values)
+            self._entry_batch[entry_ids[admit]] = batch_index
+
+        results = unique_rows[inverse]
+        if len(aliased_rows):
+            results[aliased_rows] = computed[len(group_rows):]
+
+        # Row-level accounting (aliased rows are computes, not hits).
+        is_first = np.zeros(num_rows, dtype=bool)
+        is_first[first_index] = True
+        row_cross = reusable[inverse] & ~aliased
+        row_intra = needs_compute[inverse] & ~is_first & ~aliased
+        outcome = ServeOutcome(
+            rows=num_rows,
+            unique=num_unique,
+            cross_hit_rows=int(row_cross.sum()),
+            intra_hit_rows=int(row_intra.sum()),
+            aliased_rows=int(aliased.sum()),
+            reused_unique=int(reusable.sum()),
+            computed_unique=int(needs_compute.sum()),
+            inserted_unique=int(inserted.sum()),
+            rejected_unique=int(rejected.sum()))
+        counters.cross_hits += outcome.cross_hit_rows
+        counters.intra_hits += outcome.intra_hit_rows
+        counters.computed += outcome.computed_unique + outcome.aliased_rows
+        counters.inserted += outcome.inserted_unique
+        counters.rejected += outcome.rejected_unique
+
+        return results, outcome
+
+    def _stored_width(self, entry_ids, reusable) -> int:
+        reuse_idx = np.flatnonzero(reusable)
+        if not len(reuse_idx):
+            return 0
+        first = self.mcache.read_data_batch(entry_ids[reuse_idx[:1]])[0]
+        return len(first[1]) if self.policy.exact_check else len(first)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (persistent sessions)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> tuple[dict, dict]:
+        """Serialize the session as ``(meta, arrays)``.
+
+        ``meta`` is JSON-safe (mode, counters, policy fingerprint);
+        ``arrays`` holds plain numpy arrays fit for ``np.savez`` without
+        pickling: the resident signatures in entry-id order, their
+        insertion batches, the valid-data mask and the stored
+        payload/result matrices (dense — one stream has one vector
+        length, so widths are uniform).
+        """
+        m = self.mcache
+        count = m._next_entry_id
+        sets, ways = m._entry_set[:count], m._entry_way[:count]
+        if m._tag_words is not None:
+            signatures = m._tag_words[sets, ways].copy()
+            mode = "words"
+        else:
+            signatures = m._tags[sets, ways] * m.num_sets + sets
+            mode = "int64"
+        has_data = m._valid_data[sets, ways, 0].copy()
+        stored = [m._data[s, w, 0]
+                  for s, w in zip(sets[has_data], ways[has_data])]
+        if self.policy.exact_check:
+            payloads = np.stack([value[0] for value in stored]) if stored \
+                else np.empty((0, 0))
+            rows = np.stack([value[1] for value in stored]) if stored \
+                else np.empty((0, 0))
+        else:
+            payloads = np.empty((0, 0))
+            rows = np.stack(stored) if stored else np.empty((0, 0))
+
+        seen_keys = sorted(self._seen)
+        arrays = {
+            "signatures": signatures,
+            "entry_batch": self._entry_batch[:count].copy(),
+            "has_data": has_data,
+            "payloads": payloads,
+            "rows": rows,
+            "seen_counts": np.array([self._seen[key][0]
+                                     for key in seen_keys],
+                                    dtype=np.int64),
+            "seen_batches": np.array([self._seen[key][1]
+                                      for key in seen_keys],
+                                     dtype=np.int64),
+        }
+        if self.policy.admission == "frequency" and seen_keys:
+            if mode == "words":
+                arrays["seen_keys"] = np.stack(
+                    [np.frombuffer(key, dtype=np.uint64)
+                     for key in seen_keys])
+            else:
+                arrays["seen_keys"] = np.array(seen_keys, dtype=np.int64)
+        else:
+            arrays["seen_keys"] = np.empty(0, dtype=np.int64)
+        meta = {
+            "state_version": STATE_VERSION,
+            "mode": mode,
+            "entries": int(count),
+            "counters": {name: int(value)
+                         for name, value in vars(self.counters).items()},
+            "mcache_stats": {name: int(value)
+                             for name, value in vars(m.stats).items()},
+            "policy": self.policy.fingerprint(),
+        }
+        return meta, arrays
+
+    def load_state_dict(self, meta: dict, arrays: dict) -> None:
+        """Rebuild the session from a :meth:`state_dict` payload.
+
+        The restored session is state-identical to the donor: same
+        (set, way, entry-id) placement, same stored data, same ages,
+        same counters — so it reproduces the donor's hit behaviour on
+        any subsequent traffic.
+        """
+        if meta.get("state_version") != STATE_VERSION:
+            raise ValueError(
+                f"snapshot state_version {meta.get('state_version')!r} "
+                f"does not match supported {STATE_VERSION}")
+        if meta["policy"] != self.policy.fingerprint():
+            raise ValueError("snapshot was taken under a different policy; "
+                             "refusing to restore")
+        self.clear()
+        signatures = np.asarray(arrays["signatures"])
+        if len(signatures):
+            states, entry_ids = self.mcache.lookup_or_insert_batch(signatures)
+            if not (states == HitState.MAU).all() or \
+                    not np.array_equal(entry_ids,
+                                       np.arange(len(signatures))):
+                raise ValueError("snapshot signatures did not rebuild "
+                                 "cleanly (corrupt or wrong geometry)")
+            has_data = np.asarray(arrays["has_data"], dtype=bool)
+            data_ids = entry_ids[has_data]
+            if len(data_ids):
+                values = np.empty(len(data_ids), dtype=object)
+                payloads = np.asarray(arrays["payloads"])
+                rows = np.asarray(arrays["rows"])
+                for slot in range(len(data_ids)):
+                    if self.policy.exact_check:
+                        values[slot] = (payloads[slot].copy(),
+                                        rows[slot].copy())
+                    else:
+                        values[slot] = rows[slot].copy()
+                self.mcache.write_data_batch(data_ids, values)
+        self._entry_batch = np.asarray(arrays["entry_batch"],
+                                       dtype=np.int64).copy()
+        seen_keys = np.asarray(arrays.get("seen_keys",
+                                          np.empty(0, dtype=np.int64)))
+        seen_counts = np.asarray(arrays.get("seen_counts",
+                                            np.empty(0, dtype=np.int64)))
+        seen_batches = np.asarray(arrays.get("seen_batches",
+                                             np.empty(0, dtype=np.int64)))
+        self._seen = {}
+        for position in range(len(seen_counts)):
+            key = seen_keys[position]
+            key = key.tobytes() if key.ndim else int(key)
+            self._seen[key] = (int(seen_counts[position]),
+                               int(seen_batches[position]))
+        for name, value in meta["counters"].items():
+            setattr(self.counters, name, int(value))
+        for name, value in meta["mcache_stats"].items():
+            setattr(self.mcache.stats, name, int(value))
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return self.mcache.occupancy()
+
+    def clear(self) -> None:
+        self.mcache.clear()
+        self._entry_batch = np.empty(0, dtype=np.int64)
+        self._seen = {}

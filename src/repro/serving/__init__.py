@@ -16,11 +16,19 @@ signature machinery pays off *across* requests.  This package provides
   attaches like the training engine;
 * :class:`~repro.serving.batcher.MicroBatcher` — the asyncio
   micro-batching request queue with backpressure;
-* :class:`~repro.serving.server.InferenceServer` — the facade tying
-  model, caches and queue together (plus an optional stdlib HTTP front
-  end);
+* :class:`~repro.serving.server.InferenceServer` — a routing front end
+  over N worker shards (each with its own caches and batcher), with
+  cache :meth:`~repro.serving.server.InferenceServer.snapshot` /
+  :meth:`~repro.serving.server.InferenceServer.restore` persistence
+  and an optional stdlib HTTP front end;
+* :mod:`~repro.serving.router` — deterministic signature-hash routing
+  on a SHA-256 consistent ring;
 * :mod:`~repro.serving.loadgen` — deterministic traffic generators
   (uniform, bursty, hot-key/Zipfian).
+
+Both cache granularities are persistent-mode instances of the shared
+:class:`repro.core.session.ReuseSession` — the same probe/insert +
+cache-ride core the training engine drives in flash mode.
 """
 
 from repro.serving.batcher import BatcherConfig, MicroBatcher
@@ -38,10 +46,13 @@ from repro.serving.loadgen import (
     build_request_pool,
     generate_trace,
 )
+from repro.serving.router import ConsistentHashRing, signature_key
 from repro.serving.server import InferenceServer, ServingReport
 
 __all__ = [
     "BatcherConfig",
+    "ConsistentHashRing",
+    "signature_key",
     "CacheCounters",
     "InferenceServer",
     "MicroBatcher",

@@ -55,6 +55,23 @@ class BatcherTelemetry:
             return 0.0
         return sum(self.batch_sizes) / len(self.batch_sizes)
 
+    @classmethod
+    def aggregate(cls, telemetries) -> "BatcherTelemetry":
+        """Merge several batchers' telemetry (the sharded server's view).
+
+        Latencies and batch shapes concatenate; counters sum.  Order
+        within the merged lists is per-shard, which is irrelevant to
+        every consumer (percentiles, means, counts).
+        """
+        total = cls()
+        for telemetry in telemetries:
+            total.latencies_s.extend(telemetry.latencies_s)
+            total.batch_sizes.extend(telemetry.batch_sizes)
+            total.submitted += telemetry.submitted
+            total.completed += telemetry.completed
+            total.failed += telemetry.failed
+        return total
+
 
 class _Pending:
     __slots__ = ("payload", "future", "enqueued_at")

@@ -1,16 +1,24 @@
 """``repro-serve`` — the serving stack's console entry point.
 
-Stands up an :class:`~repro.serving.server.InferenceServer` for a model
-zoo entry and either replays a load-generator trace through it (the
-default; prints the telemetry report) or exposes the HTTP front end:
+Stands up an :class:`~repro.serving.server.InferenceServer` (optionally
+sharded) for a model zoo entry and either replays a load-generator
+trace through it (the default; prints the telemetry report) or exposes
+the HTTP front end:
 
     repro-serve --model squeezenet --traffic zipfian --requests 300
     repro-serve --cache-policy layered --traffic bursty
+    repro-serve --shards 4 --admission frequency
+    repro-serve --shards 2 --snapshot-to snap/          # persist caches
+    repro-serve --shards 2 --warm-start snap/ --min-hit-rate 0.97
     repro-serve --http --port 8080 --serve-forever
     repro-serve --http --requests 50     # drive the trace over HTTP
 
-Installed by ``setup.py`` (``console_scripts``); equally runnable as
-``python -m repro.serving.cli``.
+``--snapshot-to`` writes the cache state after the replay;
+``--warm-start`` restores it before serving, so a restarted server
+keeps its hit rate; ``--min-hit-rate`` turns the run into a gate (the
+CI warm-start round trip).  Installed by ``setup.py``
+(``console_scripts``); equally runnable as ``python -m
+repro.serving.cli``.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import numpy as np
 
 from repro.analysis.serving_sweep import (CACHE_POLICIES, ServingPoint,
                                           serving_pieces)
+from repro.core.session import ADMISSION_POLICIES
 from repro.models.registry import MODEL_NAMES
 from repro.serving.loadgen import TRAFFIC_PATTERNS, trace_summary
 
@@ -35,6 +44,11 @@ def _print_report(report) -> None:
     print(f"hit rate {report.hit_rate:.2%}, latency p50 "
           f"{report.latency_p50_ms:.2f} ms / p99 "
           f"{report.latency_p99_ms:.2f} ms")
+    if report.shards > 1:
+        shares = ", ".join(
+            f"shard {row['shard']}: {row['requests']} reqs "
+            f"{row['hit_rate']:.0%}" for row in report.shard_stats)
+        print(f"{report.shards} shards ({shares})")
 
 
 def serve_main(argv=None) -> int:
@@ -48,6 +62,20 @@ def serve_main(argv=None) -> int:
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--pool-size", type=int, default=24)
     parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker shards behind the routing front end")
+    parser.add_argument("--admission", default="always",
+                        choices=list(ADMISSION_POLICIES),
+                        help="cache insertion gate")
+    parser.add_argument("--warm-start", default=None, metavar="DIR",
+                        help="restore cache state from a snapshot "
+                             "directory before serving")
+    parser.add_argument("--snapshot-to", default=None, metavar="DIR",
+                        help="write cache state to a snapshot directory "
+                             "after serving")
+    parser.add_argument("--min-hit-rate", type=float, default=None,
+                        help="exit non-zero unless the replay hit rate "
+                             "reaches this floor (warm-start gate)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--http", action="store_true",
                         help="expose the stdlib HTTP front end")
@@ -61,16 +89,40 @@ def serve_main(argv=None) -> int:
                          cache_policy=args.cache_policy,
                          batch_size=args.batch_size,
                          num_requests=args.requests,
-                         pool_size=args.pool_size, seed=args.seed)
+                         pool_size=args.pool_size, shards=args.shards,
+                         admission=args.admission, seed=args.seed)
     _, pool, trace, server = serving_pieces(point)
-    print(f"{args.model} behind a {args.cache_policy} cache; "
-          f"{args.traffic} trace "
+    print(f"{args.model} behind a {args.cache_policy} cache "
+          f"({args.shards} shard{'s' if args.shards != 1 else ''}, "
+          f"{args.admission} admission); {args.traffic} trace "
           f"({trace_summary(trace)['distinct_payloads']} distinct "
           f"payloads)")
+    if args.warm_start:
+        manifest = server.restore(args.warm_start)
+        print(f"warm-started from {args.warm_start} "
+              f"({len(manifest['caches'])} cache streams)")
 
     if not args.http:
+        before = server.cache_counters()
         _, report = server.replay(trace, pool)
         _print_report(report)
+        # Counters survive a warm start, so isolate this run's rate.
+        after = server.cache_counters()
+        run_requests = after.requests - before.requests
+        run_hit_rate = (after.hits - before.hits) / run_requests \
+            if run_requests else report.hit_rate
+        if args.warm_start:
+            print(f"this run: hit rate {run_hit_rate:.2%} "
+                  f"(lifetime {report.hit_rate:.2%})")
+        if args.snapshot_to:
+            manifest = server.snapshot(args.snapshot_to)
+            print(f"snapshot written to {args.snapshot_to} "
+                  f"({len(manifest['caches'])} cache streams)")
+        if args.min_hit_rate is not None \
+                and run_hit_rate < args.min_hit_rate:
+            print(f"FAIL hit rate {run_hit_rate:.2%} below the "
+                  f"{args.min_hit_rate:.2%} floor")
+            return 1
         return 0
 
     front = server.serve_http(port=args.port)

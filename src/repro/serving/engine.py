@@ -8,10 +8,11 @@ signature-indexed result cache is *persistent*: its tags, data and
 access counters survive across micro-batches, and admission/eviction is
 governed by an explicit :class:`ServingPolicy`.
 
-Two granularities share one implementation
-(:class:`SignatureResultCache`, built on the batch probe/insert and
-data-phase machinery of
-:class:`~repro.core.mcache_vec.VectorizedMCache`):
+Both regimes share one probe/insert + cache-ride implementation,
+:class:`repro.core.session.ReuseSession` — training instantiates it in
+flash mode, serving in persistent mode — so the two engines cannot
+drift.  :class:`SignatureResultCache` is the serving-facing persistent
+session; two granularities build on it:
 
 * **request** — the whole input is one vector; a hit serves the cached
   network output without touching the model.  With ``exact_check`` the
@@ -42,37 +43,38 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.hitmap import HitState
-from repro.core.mcache_vec import VectorizedMCache
-from repro.core.rpq import RPQHasher, unique_signatures
+from repro.core.rpq import RPQHasher
+from repro.core.session import (ADMISSION_POLICIES, CacheCounters,
+                                ReuseSession, ServeOutcome, SessionPolicy)
 from repro.core.stats import ReuseStats
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "CacheCounters",
+    "ServeOutcome",
+    "ServingPolicy",
+    "ServingReuseEngine",
+    "SignatureResultCache",
+]
 
 
 @dataclass(frozen=True)
-class ServingPolicy:
+class ServingPolicy(SessionPolicy):
     """Admission/eviction policy of the serving caches.
 
-    ``entries``/``ways`` give the MCACHE geometry: capacity is enforced
-    the paper's way — no replacement; a signature whose set is full is
-    computed every time (MNU).  ``ttl_batches`` bounds entry age: a hit
-    on an entry inserted more than that many micro-batches ago is
-    *refreshed* — recomputed and rewritten in place with its age reset —
-    so stale traffic cannot pin results forever.  ``layers`` restricts
-    vector-granularity reuse to layers whose name contains one of the
-    given substrings (``None`` = every routed layer).
+    Extends the shared :class:`~repro.core.session.SessionPolicy` (the
+    capacity geometry, TTL, exact-check and admission knobs every
+    :class:`~repro.core.session.ReuseSession` understands) with the
+    serving-only axes: which cache granularities are active, which
+    layers the vector cache covers, and how misses are computed.
+    ``layers`` restricts vector-granularity reuse to layers whose name
+    contains one of the given substrings (``None`` = every routed
+    layer).
     """
 
     # Which caches are active.
     request_cache: bool = True
     vector_cache: bool = False
-    # Signature / capacity knobs (shared by both granularities).
-    signature_bits: int = 32
-    entries: int = 4096
-    ways: int = 16
-    ttl_batches: int | None = None
-    # Collision safety: verify the stored payload equals the incoming
-    # one before serving a hit; mismatches are demoted to computes.
-    exact_check: bool = True
     # Vector-granularity scope.
     layers: tuple[str, ...] | None = None
     # Convolution signature granularity for the vector cache (``None``
@@ -85,257 +87,26 @@ class ServingPolicy:
     # independent of micro-batch composition and therefore bitwise
     # reproducible against the per-request oracle.
     compute: str = "batched"
-    rpq_seed: int = 1234
 
     def __post_init__(self):
-        if self.signature_bits <= 0:
-            raise ValueError("signature_bits must be positive")
-        if self.entries <= 0 or self.ways <= 0:
-            raise ValueError("entries and ways must be positive")
-        if self.entries % self.ways != 0:
-            raise ValueError("entries must be divisible by ways")
-        if self.ttl_batches is not None and self.ttl_batches <= 0:
-            raise ValueError("ttl_batches must be positive (or None)")
+        super().__post_init__()
         if self.compute not in ("batched", "per_request"):
             raise ValueError(f"unknown compute mode {self.compute!r}")
 
-    def replace(self, **changes) -> "ServingPolicy":
-        from dataclasses import replace as dc_replace
-        return dc_replace(self, **changes)
 
-
-@dataclass
-class CacheCounters:
-    """Row-level outcome counters of one :class:`SignatureResultCache`."""
-
-    requests: int = 0          # rows probed
-    cross_hits: int = 0        # rows served from an earlier batch's entry
-    intra_hits: int = 0        # duplicate rows within one batch
-    computed: int = 0          # rows actually multiplied/forwarded
-    inserted: int = 0          # computed rows admitted into the cache
-    rejected: int = 0          # computed rows whose set was full (MNU)
-    expired: int = 0           # hits demoted by TTL (entry refreshed)
-    collisions: int = 0        # exact-check demotions (signature aliasing)
-
-    @property
-    def hits(self) -> int:
-        return self.cross_hits + self.intra_hits
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.requests if self.requests else 0.0
-
-    def to_dict(self) -> dict:
-        return {"requests": self.requests, "cross_hits": self.cross_hits,
-                "intra_hits": self.intra_hits, "computed": self.computed,
-                "inserted": self.inserted, "rejected": self.rejected,
-                "expired": self.expired, "collisions": self.collisions,
-                "hit_rate": self.hit_rate}
-
-
-class SignatureResultCache:
+class SignatureResultCache(ReuseSession):
     """Persistent signature→result store shared across micro-batches.
 
-    One instance serves one stream of equal-length vectors (a request
-    payload shape, or one layer's input vectors).  Probing, admission
-    and the result store ride on the persistent batch machinery of
-    :class:`~repro.core.mcache_vec.VectorizedMCache`
-    (``lookup_or_insert_batch`` + the data phase), so capacity behaves
-    exactly like the hardware structure: set-associative, no
-    replacement.
+    The serving-facing face of :class:`~repro.core.session.ReuseSession`
+    in persistent mode: one instance serves one stream of equal-length
+    vectors (a request payload shape, or one layer's input vectors),
+    its state survives across batches, and capacity behaves exactly
+    like the hardware structure — set-associative, no replacement.
     """
 
-    def __init__(self, policy: ServingPolicy, hasher: RPQHasher | None = None):
-        self.policy = policy
-        self.hasher = hasher or RPQHasher(seed=policy.rpq_seed)
-        self.mcache = VectorizedMCache(entries=policy.entries,
-                                       ways=policy.ways)
-        self.counters = CacheCounters()
-        # entry id -> micro-batch index of (re)insertion, densely grown
-        # alongside the MCACHE's entry ids.
-        self._entry_batch = np.empty(0, dtype=np.int64)
-
-    # ------------------------------------------------------------------
-    def _grow_entry_batches(self, batch_index: int) -> None:
-        missing = self.mcache._next_entry_id - len(self._entry_batch)
-        if missing > 0:
-            self._entry_batch = np.concatenate(
-                [self._entry_batch,
-                 np.full(missing, batch_index, dtype=np.int64)])
-
-    def serve(self, vectors: np.ndarray, compute, batch_index: int
-              ) -> tuple[np.ndarray, "ServeOutcome"]:
-        """Return one result row per input row, reusing where possible.
-
-        ``compute(first_indices)`` receives the row indices (into
-        ``vectors``) of the unique inputs that need computing and must
-        return one result row per index, in order.  Cached rows are
-        served without calling it; duplicates within the batch share
-        one computation.  Returns ``(rows, outcome)`` where ``outcome``
-        details this call's reuse decisions.
-        """
-        vectors = np.asarray(vectors, dtype=np.float64)
-        if vectors.ndim != 2:
-            raise ValueError("serve expects 2D (rows, features) vectors")
-        num_rows = len(vectors)
-        counters = self.counters
-        counters.requests += num_rows
-        if num_rows == 0:
-            return np.empty((0, 0)), ServeOutcome()
-
-        signatures = self.hasher.signatures(vectors,
-                                            self.policy.signature_bits)
-        uniques, first_index, inverse = unique_signatures(signatures)
-        num_unique = len(uniques)
-        states, entry_ids = self.mcache.lookup_or_insert_batch(uniques)
-        self._grow_entry_batches(batch_index)
-
-        # Intra-batch aliasing: with ``exact_check`` a row may only
-        # share its signature group's result if it *equals* the group's
-        # first occurrence — a colliding (similar-but-different) row is
-        # computed on its own instead.  Without the check, signature
-        # trust applies within the batch exactly as it does across
-        # batches: that is MERCURY's approximate-reuse semantics.
-        if self.policy.exact_check:
-            aliased = ~(vectors == vectors[first_index[inverse]]).all(axis=1)
-            counters.collisions += int(aliased.sum())
-        else:
-            aliased = np.zeros(num_rows, dtype=bool)
-
-        resident = states == HitState.HIT          # existed before batch
-        inserted = states == HitState.MAU          # claimed a line now
-        rejected = states == HitState.MNU          # set full, no entry
-
-        # Which resident entries may serve their stored result?
-        reusable = resident.copy()
-        refresh = np.zeros(num_unique, dtype=bool)
-        if resident.any():
-            res_idx = np.flatnonzero(resident)
-            res_entries = entry_ids[res_idx]
-            valid = self.mcache.has_data_batch(res_entries)
-            if self.policy.ttl_batches is not None:
-                age = batch_index - self._entry_batch[res_entries]
-                expired = age > self.policy.ttl_batches
-                counters.expired += int(expired.sum())
-                valid &= ~expired
-            stale = res_idx[~valid]
-            reusable[stale] = False
-            refresh[stale] = True
-            if self.policy.exact_check and valid.any():
-                live = res_idx[valid]
-                stored = self.mcache.read_data_batch(entry_ids[live])
-                match = np.fromiter(
-                    (np.array_equal(payload, vectors[row])
-                     for (payload, _), row in zip(stored,
-                                                  first_index[live])),
-                    dtype=bool, count=len(live))
-                collided = live[~match]
-                counters.collisions += len(collided)
-                reusable[collided] = False
-
-        needs_compute = ~reusable
-        aliased_rows = np.flatnonzero(aliased)
-        group_rows = first_index[needs_compute]
-        compute_rows = np.concatenate([group_rows, aliased_rows]) \
-            if len(aliased_rows) else group_rows
-        computed = None
-        if len(compute_rows):
-            computed = np.asarray(compute(compute_rows), dtype=np.float64)
-            if computed.ndim != 2 or len(computed) != len(compute_rows):
-                raise ValueError("compute must return one row per index")
-
-        # Assemble per-unique results: reused rows from the store,
-        # computed rows from the caller.
-        width = computed.shape[1] if computed is not None else \
-            self._stored_width(entry_ids, reusable)
-        unique_rows = np.empty((num_unique, width), dtype=np.float64)
-        if reusable.any():
-            reuse_idx = np.flatnonzero(reusable)
-            stored = self.mcache.read_data_batch(entry_ids[reuse_idx])
-            for position, value in zip(reuse_idx, stored):
-                unique_rows[position] = value[1] if self.policy.exact_check \
-                    else value
-        if computed is not None:
-            unique_rows[needs_compute] = computed[:len(group_rows)]
-
-        # Admit fresh computations: newly claimed lines and refreshed
-        # (expired / data-invalidated) residents.  Collisions keep the
-        # original owner's payload (first-writer-wins); rejected
-        # signatures have no line to write.
-        admit = np.flatnonzero(inserted | refresh)
-        if len(admit):
-            values = np.empty(len(admit), dtype=object)
-            for slot, unique_pos in enumerate(admit):
-                row = np.array(unique_rows[unique_pos], copy=True)
-                if self.policy.exact_check:
-                    payload = np.array(vectors[first_index[unique_pos]],
-                                       copy=True)
-                    values[slot] = (payload, row)
-                else:
-                    values[slot] = row
-            self.mcache.write_data_batch(entry_ids[admit], values)
-            self._entry_batch[entry_ids[admit]] = batch_index
-
-        results = unique_rows[inverse]
-        if len(aliased_rows):
-            results[aliased_rows] = computed[len(group_rows):]
-
-        # Row-level accounting (aliased rows are computes, not hits).
-        is_first = np.zeros(num_rows, dtype=bool)
-        is_first[first_index] = True
-        row_cross = reusable[inverse] & ~aliased
-        row_intra = needs_compute[inverse] & ~is_first & ~aliased
-        outcome = ServeOutcome(
-            rows=num_rows,
-            unique=num_unique,
-            cross_hit_rows=int(row_cross.sum()),
-            intra_hit_rows=int(row_intra.sum()),
-            aliased_rows=int(aliased.sum()),
-            reused_unique=int(reusable.sum()),
-            computed_unique=int(needs_compute.sum()),
-            inserted_unique=int(inserted.sum()),
-            rejected_unique=int(rejected.sum()))
-        counters.cross_hits += outcome.cross_hit_rows
-        counters.intra_hits += outcome.intra_hit_rows
-        counters.computed += outcome.computed_unique + outcome.aliased_rows
-        counters.inserted += outcome.inserted_unique
-        counters.rejected += outcome.rejected_unique
-
-        return results, outcome
-
-    def _stored_width(self, entry_ids, reusable) -> int:
-        reuse_idx = np.flatnonzero(reusable)
-        if not len(reuse_idx):
-            return 0
-        first = self.mcache.read_data_batch(entry_ids[reuse_idx[:1]])[0]
-        return len(first[1]) if self.policy.exact_check else len(first)
-
-    # ------------------------------------------------------------------
-    def occupancy(self) -> int:
-        return self.mcache.occupancy()
-
-    def clear(self) -> None:
-        self.mcache.clear()
-        self._entry_batch = np.empty(0, dtype=np.int64)
-
-
-@dataclass
-class ServeOutcome:
-    """Reuse decisions of one :meth:`SignatureResultCache.serve` call."""
-
-    rows: int = 0
-    unique: int = 0
-    cross_hit_rows: int = 0
-    intra_hit_rows: int = 0
-    aliased_rows: int = 0
-    reused_unique: int = 0
-    computed_unique: int = 0
-    inserted_unique: int = 0
-    rejected_unique: int = 0
-
-    @property
-    def hit_rows(self) -> int:
-        return self.cross_hit_rows + self.intra_hit_rows
+    def __init__(self, policy: ServingPolicy,
+                 hasher: RPQHasher | None = None):
+        super().__init__(policy, hasher=hasher, persistent=True)
 
 
 class ServingReuseEngine:
@@ -407,6 +178,11 @@ class ServingReuseEngine:
             self._caches[key] = cache
         return cache
 
+    def cache_streams(self) -> list[tuple[str, int, SignatureResultCache]]:
+        """Every (layer, vector length, cache) stream, snapshot-ordered."""
+        return [(layer, length, cache)
+                for (layer, length), cache in sorted(self._caches.items())]
+
     # ------------------------------------------------------------------
     def matmul(self, vectors: np.ndarray, weights: np.ndarray, *,
                layer: str, phase: str = "forward") -> np.ndarray:
@@ -469,11 +245,8 @@ class ServingReuseEngine:
     # ------------------------------------------------------------------
     def counters(self) -> CacheCounters:
         """Aggregate row counters across every per-layer cache."""
-        total = CacheCounters()
-        for cache in self._caches.values():
-            for name, value in vars(cache.counters).items():
-                setattr(total, name, getattr(total, name) + value)
-        return total
+        return CacheCounters.aggregate(cache.counters
+                                       for cache in self._caches.values())
 
     def layer_summary(self) -> list[dict]:
         """JSON-safe per-(layer, phase) reuse telemetry."""

@@ -1,0 +1,76 @@
+"""Deterministic signature-hash routing for the sharded serving stack.
+
+The sharded :class:`~repro.serving.server.InferenceServer` replicates
+its compute/cache unit — the same scale-out move accelerator designs
+make in hardware — and shards the persistent reuse state by *request
+signature*: every request is hashed with the same RPQ machinery the
+caches use, and the signature is placed on a consistent-hash ring.  Two
+properties follow:
+
+* **affinity** — all repeats of a payload (and any signature-colliding
+  near-twins) land on the same shard, so the per-shard
+  ``SignatureResultCache`` sees the full repeat stream of every key it
+  owns and the aggregate hit rate matches the single-shard cache;
+* **stability** — ring points are SHA-256 digests of ``(shard,
+  replica)`` labels, so the mapping is a pure function of the shard
+  count: the same trace shards identically across runs, machines and
+  Python versions (no ``hash()`` randomisation), and growing the ring
+  by one shard remaps only ~1/N of the key space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def signature_key(signature) -> bytes:
+    """Stable byte identity of one packed signature.
+
+    Accepts the int64 scalar representation or a multi-word ``uint64``
+    row (:mod:`repro.core.rpq`); both map injectively to bytes.
+    """
+    value = np.asarray(signature)
+    if value.ndim == 0:
+        return b"i" + int(value).to_bytes(8, "big", signed=True)
+    return b"w" + value.astype(np.uint64, copy=False).tobytes()
+
+
+class ConsistentHashRing:
+    """A fixed ring of shard points with binary-search routing.
+
+    ``replicas`` virtual points per shard smooth the key-space split;
+    at the default 64 the heaviest shard of a uniform key set carries
+    within a few percent of its fair share.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.shards = shards
+        self.replicas = replicas
+        points = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                label = f"shard:{shard}:replica:{replica}".encode()
+                digest = hashlib.sha256(label).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._hashes = np.array([point for point, _ in points],
+                                dtype=np.uint64)
+        self._owners = np.array([owner for _, owner in points],
+                                dtype=np.int64)
+
+    def route(self, key: bytes) -> int:
+        """The shard owning ``key`` (first ring point at or after it)."""
+        if self.shards == 1:
+            return 0
+        point = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+        index = int(np.searchsorted(self._hashes, point, side="left"))
+        return int(self._owners[index % len(self._owners)])
+
+    def route_many(self, keys) -> np.ndarray:
+        return np.array([self.route(key) for key in keys], dtype=np.int64)

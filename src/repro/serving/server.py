@@ -1,30 +1,48 @@
-"""The inference-serving facade.
+"""The sharded inference-serving front end.
 
-:class:`InferenceServer` ties the pieces together: a trained
-:class:`~repro.nn.module.Module`, the optional request-granularity
-output cache, the optional per-layer
-:class:`~repro.serving.engine.ServingReuseEngine`, and the
-:class:`~repro.serving.batcher.MicroBatcher` front door.  Three ways to
-drive it:
+:class:`InferenceServer` is a routing front end over ``shards`` worker
+shards.  Each shard owns a full copy of the serving machinery — its own
+request-granularity :class:`~repro.serving.engine.SignatureResultCache`,
+its own per-layer :class:`~repro.serving.engine.ServingReuseEngine` and
+its own :class:`~repro.serving.batcher.MicroBatcher` — and requests are
+routed to shards by deterministic signature hashing on a consistent
+ring (:mod:`repro.serving.router`), so all repeats of a payload land on
+the shard that caches it.  ``shards=1`` degenerates to the original
+single-backend facade, batch for batch.
+
+Three ways to drive the server:
 
 * :meth:`serve_trace` — push a load-generator trace through the real
-  asyncio queue (optionally in real time), measuring wall-clock
+  asyncio queues (optionally in real time), measuring wall-clock
   latency;
-* :meth:`replay` — a deterministic single-server replay of the same
-  batching discipline on a simulated clock: batch compositions (and
-  therefore every cache decision) depend only on the trace, which is
-  what the sweep grid and the golden suite need;
+* :meth:`replay` — a deterministic replay of the same batching
+  discipline on a simulated clock: requests are partitioned onto their
+  shards, each shard's batches form exactly as its collector would
+  form them, and execution is serialised in (close-time, shard) order —
+  so batch compositions (and therefore every cache decision) depend
+  only on the trace and the shard count, which is what the sweep grid
+  and the golden suite need.  Each shard is modelled as its own
+  backend worker, so the report's ``simulated_makespan_s`` shows the
+  scale-out win that one in-process replay cannot show in wall clock;
 * :meth:`serve_http` — a stdlib HTTP front end (JSON in/out) for
   driving the server from outside the process.
+
+Cache state survives restarts: :meth:`snapshot` writes every shard's
+caches as a versioned JSON manifest plus one ``.npz`` array payload,
+and :meth:`restore` rebuilds an identically configured server into the
+donor's exact cache state (same placements, ages and counters), so a
+warm-started server reproduces the donor's hit behaviour on subsequent
+traffic — the golden warm-start suite pins this.
 
 :meth:`oracle_outputs` provides the exactness reference: the same
 weights, engines detached, every request forwarded alone.  With the
 request cache in ``exact_check`` mode and ``compute="per_request"``,
-served outputs are byte-identical to that oracle — reuse only ever
-copies an output the oracle computation produced for an identical
-payload.  (Batched compute trades that guarantee for throughput: BLAS
-reduction orders vary with batch shape, so outputs match the oracle
-only to ~1e-13; the sweep records the measured deviation.)
+served outputs are byte-identical to that oracle *at any shard count* —
+reuse only ever copies an output the oracle computation produced for an
+identical payload.  (Batched compute trades that guarantee for
+throughput: BLAS reduction orders vary with batch shape, so outputs
+match the oracle only to ~1e-13; the sweep records the measured
+deviation.)
 """
 
 from __future__ import annotations
@@ -34,13 +52,23 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro.serving.batcher import BatcherConfig, MicroBatcher
+from repro.core.rpq import RPQHasher
+from repro.core.session import CacheCounters
+from repro.serving.batcher import (BatcherConfig, BatcherTelemetry,
+                                   MicroBatcher)
 from repro.serving.engine import (ServingPolicy, ServingReuseEngine,
                                   SignatureResultCache)
 from repro.serving.loadgen import Request
+from repro.serving.router import ConsistentHashRing, signature_key
+
+SNAPSHOT_FORMAT = "repro-serving-snapshot"
+SNAPSHOT_VERSION = 1
+SNAPSHOT_MANIFEST = "manifest.json"
+SNAPSHOT_ARRAYS = "state.npz"
 
 
 @dataclass
@@ -60,6 +88,11 @@ class ServingReport:
     vector_cache: dict = field(default_factory=dict)
     layer_stats: list = field(default_factory=list)
     hit_rate: float = 0.0
+    shards: int = 1
+    shard_stats: list = field(default_factory=list)
+    # Simulated busy-until time of the slowest shard worker in replay
+    # (0.0 for wall-clock paths): the scale-out makespan.
+    simulated_makespan_s: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -75,6 +108,9 @@ class ServingReport:
             "vector_cache": self.vector_cache,
             "layer_stats": self.layer_stats,
             "hit_rate": self.hit_rate,
+            "shards": self.shards,
+            "shard_stats": self.shard_stats,
+            "simulated_makespan_s": self.simulated_makespan_s,
         }
 
 
@@ -88,32 +124,98 @@ def _percentiles_ms(latencies_s) -> dict:
             "mean": float(arr.mean())}
 
 
+class _Shard:
+    """One serving worker: caches, vector engine and micro-batcher."""
+
+    def __init__(self, index: int, server: "InferenceServer"):
+        self.index = index
+        policy = server.policy
+        self.request_cache = SignatureResultCache(policy) \
+            if policy.request_cache else None
+        self.vector_engine = ServingReuseEngine(policy) \
+            if policy.vector_cache else None
+        self.batcher = MicroBatcher(
+            lambda payloads, _shard=self:
+                server._process_shard_batch(_shard, payloads),
+            server.batcher_config)
+        self.batch_index = 0
+        self.batch_count = 0
+
+    def stats_row(self) -> dict:
+        counters = CacheCounters()
+        occupancy = 0
+        if self.request_cache is not None:
+            counters.merge(self.request_cache.counters)
+            occupancy += self.request_cache.occupancy()
+        if self.vector_engine is not None:
+            counters.merge(self.vector_engine.counters())
+            occupancy += sum(self.vector_engine.occupancy().values())
+        # ``requests`` counts what the router actually sent here (the
+        # sum of this shard's batch sizes), so balance is meaningful
+        # for every cache policy — including cache-less ones, where the
+        # row-level cache counters stay at zero.  ``hits``/``hit_rate``
+        # are the cache-lifetime row counters (vector granularity
+        # counts per-layer rows, not requests).
+        return {"shard": self.index,
+                "requests": sum(self.batcher.telemetry.batch_sizes),
+                "hits": counters.hits, "hit_rate": counters.hit_rate,
+                "batches": self.batch_count, "occupancy": occupancy}
+
+
 class InferenceServer:
-    """Serve a trained model with cross-request computation reuse."""
+    """Serve a trained model with sharded cross-request reuse."""
 
     def __init__(self, model, policy: ServingPolicy | None = None,
-                 batcher: BatcherConfig | None = None):
+                 batcher: BatcherConfig | None = None, shards: int = 1):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
         self.model = model
         self.policy = policy or ServingPolicy()
         self.batcher_config = batcher or BatcherConfig()
+        self.num_shards = shards
         model.eval()
 
-        self.vector_engine = None
-        if self.policy.vector_cache:
-            self.vector_engine = ServingReuseEngine(self.policy)
-        model.set_engine(self.vector_engine)
+        self._ring = ConsistentHashRing(shards)
+        # Routing hashes with the same RPQ stream the caches use, so
+        # the shard split is a pure function of (payload, policy).
+        self._route_hasher = RPQHasher(seed=self.policy.rpq_seed)
+        self.shards = [_Shard(index, self) for index in range(shards)]
+        model.set_engine(self.shards[0].vector_engine)
 
-        self.request_cache = None
-        if self.policy.request_cache:
-            self.request_cache = SignatureResultCache(self.policy)
-
-        self._batcher = MicroBatcher(self._process_batch,
-                                     self.batcher_config)
-        self._batch_index = 0
-        self._batch_count = 0
         self._output_tail: tuple | None = None
         self._compute_time_s = 0.0
         self._started_at = time.perf_counter()
+
+    # -- single-shard-era conveniences ---------------------------------
+    @property
+    def request_cache(self):
+        """Shard 0's request cache (the only one when ``shards=1``)."""
+        return self.shards[0].request_cache
+
+    @property
+    def vector_engine(self):
+        return self.shards[0].vector_engine
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, payload) -> int:
+        """The shard owning a payload (by RPQ signature, ring-placed)."""
+        if self.num_shards == 1:
+            return 0
+        flat = np.asarray(payload, dtype=np.float64).reshape(1, -1)
+        signatures = self._route_hasher.signatures(
+            flat, self.policy.signature_bits)
+        return self._ring.route(signature_key(signatures[0]))
+
+    def _shards_for_trace(self, trace: list[Request],
+                          pool: np.ndarray) -> np.ndarray:
+        if self.num_shards == 1:
+            return np.zeros(len(trace), dtype=np.int64)
+        owners = {index: self.shard_for(pool[index])
+                  for index in {request.pool_index for request in trace}}
+        return np.array([owners[request.pool_index] for request in trace],
+                        dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Synchronous batch path
@@ -132,21 +234,27 @@ class InferenceServer:
         self._output_tail = outputs.shape[1:]
         return outputs.reshape(len(payloads), -1)
 
-    def _process_batch(self, payloads: list) -> list:
-        """One micro-batch through the caches and the model."""
+    def _process_shard_batch(self, shard: _Shard, payloads: list) -> list:
+        """One micro-batch through one shard's caches and the model."""
+        if shard.vector_engine is not None:
+            # The model is shared; batches execute one at a time (the
+            # asyncio loop / the replay scheduler serialise them), so
+            # attaching the owning shard's engine per batch keeps each
+            # shard's per-layer caches private.
+            self.model.set_engine(shard.vector_engine)
         stacked = np.stack([np.asarray(p) for p in payloads])
-        if self.request_cache is not None:
+        if shard.request_cache is not None:
             flat = np.asarray(stacked, dtype=np.float64).reshape(
                 len(stacked), -1)
-            rows, _ = self.request_cache.serve(
+            rows, _ = shard.request_cache.serve(
                 flat, lambda indices: self._forward_rows(stacked[indices]),
-                self._batch_index)
+                shard.batch_index)
         else:
             rows = self._forward_rows(stacked)
-        if self.vector_engine is not None:
-            self.vector_engine.end_batch()
-        self._batch_index += 1
-        self._batch_count += 1
+        if shard.vector_engine is not None:
+            shard.vector_engine.end_batch()
+        shard.batch_index += 1
+        shard.batch_count += 1
         tail = self._output_tail or (rows.shape[1],)
         return [row.reshape(tail) for row in rows]
 
@@ -154,27 +262,32 @@ class InferenceServer:
     # Async front door
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        await self._batcher.start()
+        for shard in self.shards:
+            await shard.batcher.start()
 
     async def stop(self) -> None:
-        await self._batcher.stop()
+        for shard in self.shards:
+            await shard.batcher.stop()
 
     async def infer(self, payload):
-        """Serve one request through the micro-batching queue."""
-        return await self._batcher.submit(payload)
+        """Serve one request through its shard's micro-batching queue."""
+        shard = self.shards[self.shard_for(payload)]
+        return await shard.batcher.submit(payload)
 
     def serve_trace(self, trace: list[Request], pool: np.ndarray,
                     realtime: bool = False, time_scale: float = 1.0
                     ) -> tuple[list, ServingReport]:
-        """Drive a load-generator trace through the asyncio queue.
+        """Drive a load-generator trace through the asyncio queues.
 
         With ``realtime`` each request is submitted at its (scaled)
-        arrival offset, exercising the max-wait path of the batcher;
-        otherwise everything is enqueued as fast as the bounded queue
-        admits it (the saturation regime).  Returns the per-request
+        arrival offset, exercising the max-wait path of the batchers;
+        otherwise everything is enqueued as fast as the bounded queues
+        admit it (the saturation regime).  Returns the per-request
         outputs in trace order plus a wall-clock report.
         """
         start = time.perf_counter()
+        before = [len(shard.batcher.telemetry.latencies_s)
+                  for shard in self.shards]
 
         async def _drive():
             await self.start()
@@ -196,62 +309,90 @@ class InferenceServer:
 
         outputs = asyncio.run(_drive())
         duration = time.perf_counter() - start
-        telemetry = self._batcher.telemetry
-        return outputs, self._report(len(trace), duration,
-                                     telemetry.latencies_s[-len(trace):])
+        latencies = [value
+                     for shard, seen in zip(self.shards, before)
+                     for value in shard.batcher.telemetry.latencies_s[seen:]]
+        return outputs, self._report(len(trace), duration, latencies)
 
     # ------------------------------------------------------------------
     # Deterministic replay (simulated clock, same batching discipline)
     # ------------------------------------------------------------------
-    def replay(self, trace: list[Request], pool: np.ndarray
-               ) -> tuple[list, ServingReport]:
-        """Replay a trace with deterministic batch composition.
+    def _form_batches(self, arrivals: np.ndarray, member_order: np.ndarray
+                      ) -> list[tuple[float, np.ndarray]]:
+        """Collector-equivalent batches over one shard's request stream.
 
-        Emulates the collector loop on the trace's own clock: a batch
-        opens at its oldest request and closes when full or when
-        ``max_wait_s`` elapses.  Batch membership — and therefore every
-        cache decision downstream — depends *only* on the trace and the
-        batcher config (the collector is modelled as always available,
-        unlike the wall-clock :meth:`serve_trace` path where service
-        time feeds back into composition).  Latency combines the
-        simulated queue wait with measured compute time, serialised on
-        one backend.
+        A batch opens at its oldest request and closes when full or
+        when ``max_wait_s`` elapses — membership depends only on the
+        arrival times and the batcher config (the collector is
+        modelled as always available).
         """
         config = self.batcher_config
+        batches = []
+        i = 0
+        while i < len(member_order):
+            first_arrival = arrivals[member_order[i]]
+            deadline = first_arrival + config.max_wait_s
+            j = i + 1
+            while (j < len(member_order) and j - i < config.max_batch_size
+                   and arrivals[member_order[j]] <= deadline):
+                j += 1
+            close_time = arrivals[member_order[j - 1]] \
+                if j - i == config.max_batch_size else deadline
+            batches.append((float(close_time), member_order[i:j]))
+            i = j
+        return batches
+
+    def replay(self, trace: list[Request], pool: np.ndarray
+               ) -> tuple[list, ServingReport]:
+        """Replay a trace with deterministic shard and batch composition.
+
+        Requests are partitioned onto their shards by signature
+        routing, each shard's batches form exactly as its collector
+        would form them on the trace's own clock, and the batches
+        execute serially in (close-time, shard, sequence) order — so
+        membership and every cache decision depend *only* on the trace,
+        the batcher config and the shard count (unlike the wall-clock
+        :meth:`serve_trace` path, where service time feeds back into
+        composition).  Latency combines the simulated queue wait with
+        measured compute time; each shard is its own backend worker, so
+        shards drain their queues in parallel on the simulated clock.
+        """
         arrivals = np.array([request.arrival_s for request in trace])
         order = np.argsort(arrivals, kind="stable")
+        shard_of = self._shards_for_trace(trace, pool)
         outputs: list = [None] * len(trace)
         latencies = np.zeros(len(trace))
         wall_start = time.perf_counter()
 
-        backend_free_at = 0.0
-        i = 0
-        while i < len(order):
-            first_arrival = arrivals[order[i]]
-            deadline = first_arrival + config.max_wait_s
-            j = i + 1
-            while (j < len(order) and j - i < config.max_batch_size
-                   and arrivals[order[j]] <= deadline):
-                j += 1
-            close_time = arrivals[order[j - 1]] \
-                if j - i == config.max_batch_size else deadline
+        scheduled = []
+        for shard in self.shards:
+            member_order = order[shard_of[order] == shard.index] \
+                if self.num_shards > 1 else order
+            for sequence, (close_time, members) in enumerate(
+                    self._form_batches(arrivals, member_order)):
+                scheduled.append((close_time, shard.index, sequence,
+                                  members))
+        scheduled.sort(key=lambda entry: entry[:3])
 
-            members = order[i:j]
+        free_at = [0.0] * self.num_shards
+        for close_time, shard_index, _sequence, members in scheduled:
+            shard = self.shards[shard_index]
             compute_start = time.perf_counter()
-            batch_outputs = self._process_batch(
-                [pool[trace[k].pool_index] for k in members])
+            batch_outputs = self._process_shard_batch(
+                shard, [pool[trace[k].pool_index] for k in members])
             compute_s = time.perf_counter() - compute_start
-            service_start = max(close_time, backend_free_at)
+            service_start = max(close_time, free_at[shard_index])
             service_end = service_start + compute_s
-            backend_free_at = service_end
+            free_at[shard_index] = service_end
             for position, k in enumerate(members):
                 outputs[k] = batch_outputs[position]
                 latencies[k] = service_end - arrivals[k]
-            self._batcher.telemetry.record_batch(len(members))
-            i = j
+            shard.batcher.telemetry.record_batch(len(members))
 
         duration = time.perf_counter() - wall_start
-        return outputs, self._report(len(trace), duration, latencies)
+        return outputs, self._report(
+            len(trace), duration, latencies,
+            simulated_makespan_s=max(free_at) if len(trace) else 0.0)
 
     # ------------------------------------------------------------------
     # Exactness oracle
@@ -261,7 +402,8 @@ class InferenceServer:
 
         Every payload is forwarded alone, so each oracle output depends
         only on its own payload — the canonical reference the exact
-        serving configuration reproduces byte for byte.
+        serving configuration reproduces byte for byte, at any shard
+        count.
         """
         self.model.set_engine(None)
         try:
@@ -270,20 +412,180 @@ class InferenceServer:
                                   dtype=np.float64)
                        for payload in payloads]
         finally:
-            self.model.set_engine(self.vector_engine)
+            self.model.set_engine(self.shards[0].vector_engine)
         return np.stack(outputs) if outputs else np.empty((0,))
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _policy_fingerprint(self) -> dict:
+        fingerprint = self.policy.fingerprint()
+        fingerprint.update({
+            "request_cache": self.policy.request_cache,
+            "vector_cache": self.policy.vector_cache,
+            "compute": self.policy.compute,
+            # Vector-cache scope: a mismatch would strand restored
+            # streams (never probed, or probed at other vector lengths).
+            "layers": list(self.policy.layers)
+            if self.policy.layers is not None else None,
+            "conv_channel_group": self.policy.conv_channel_group,
+        })
+        return fingerprint
+
+    def _model_fingerprint(self) -> str:
+        """SHA-256 over the model's parameter bytes.
+
+        Cached outputs are only valid for the weights that produced
+        them — ``exact_check`` verifies input payloads, never weights —
+        so :meth:`restore` refuses a snapshot taken under different
+        parameters instead of silently serving stale outputs.
+        """
+        import hashlib
+        digest = hashlib.sha256()
+        for parameter in self.model.parameters():
+            array = np.ascontiguousarray(parameter.value)
+            digest.update(str(array.shape).encode())
+            digest.update(array.tobytes())
+        return digest.hexdigest()
+
+    def snapshot(self, path) -> dict:
+        """Persist every shard's cache state under ``path`` (a directory).
+
+        Writes a versioned JSON manifest plus one ``.npz`` holding the
+        plain-array payloads of every request- and vector-granularity
+        cache; :meth:`restore` on an identically configured server
+        rebuilds the donor's exact cache state.  Returns the manifest.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        caches = []
+        arrays: dict[str, np.ndarray] = {}
+
+        def _add(kind: str, shard_index: int, cache, **identity):
+            prefix = f"c{len(caches)}"
+            meta, cache_arrays = cache.state_dict()
+            caches.append({"prefix": prefix, "kind": kind,
+                           "shard": shard_index, "meta": meta, **identity})
+            for name, value in cache_arrays.items():
+                arrays[f"{prefix}.{name}"] = value
+
+        for shard in self.shards:
+            if shard.request_cache is not None:
+                _add("request", shard.index, shard.request_cache)
+            if shard.vector_engine is not None:
+                for layer, length, cache in \
+                        shard.vector_engine.cache_streams():
+                    _add("vector", shard.index, cache, layer=layer,
+                         vector_length=length)
+
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "shards": self.num_shards,
+            "policy": self._policy_fingerprint(),
+            "model": self._model_fingerprint(),
+            "shard_batch_indices": [shard.batch_index
+                                    for shard in self.shards],
+            "shard_batch_counts": [shard.batch_count
+                                   for shard in self.shards],
+            "caches": caches,
+        }
+        np.savez(path / SNAPSHOT_ARRAYS, **arrays)
+        (path / SNAPSHOT_MANIFEST).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        return manifest
+
+    def restore(self, path) -> dict:
+        """Warm-start this server from a :meth:`snapshot` directory.
+
+        Validates the manifest (format, version, shard count and the
+        full serving-policy fingerprint must match) and rebuilds every
+        cache into the donor's exact state — placements, stored data,
+        TTL ages and counters — so subsequent traffic sees the donor's
+        hit behaviour.  Returns the manifest.
+        """
+        path = Path(path)
+        manifest = json.loads((path / SNAPSHOT_MANIFEST).read_text())
+        if manifest.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(f"{path} is not a serving snapshot")
+        if manifest.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {manifest.get('version')!r} is not "
+                f"supported (expected {SNAPSHOT_VERSION})")
+        if manifest.get("shards") != self.num_shards:
+            raise ValueError(
+                f"snapshot was taken with {manifest.get('shards')} shards; "
+                f"this server has {self.num_shards} (signature routing "
+                f"would scatter the restored keys)")
+        if manifest.get("policy") != self._policy_fingerprint():
+            raise ValueError("snapshot was taken under a different "
+                             "serving policy; refusing to restore")
+        if manifest.get("model") != self._model_fingerprint():
+            raise ValueError("snapshot was taken under different model "
+                             "weights; its cached outputs would be stale "
+                             "— refusing to restore")
+
+        with np.load(path / SNAPSHOT_ARRAYS) as payload:
+            for record in manifest["caches"]:
+                shard = self.shards[record["shard"]]
+                if record["kind"] == "request":
+                    cache = shard.request_cache
+                    if cache is None:
+                        raise ValueError("snapshot holds a request cache "
+                                         "but the policy disables it")
+                else:
+                    cache = shard.vector_engine.cache_for(
+                        record["layer"], int(record["vector_length"]))
+                prefix = record["prefix"] + "."
+                cache_arrays = {name[len(prefix):]: payload[name]
+                                for name in payload.files
+                                if name.startswith(prefix)}
+                cache.load_state_dict(record["meta"], cache_arrays)
+
+        for shard, batch_index, batch_count in zip(
+                self.shards, manifest["shard_batch_indices"],
+                manifest["shard_batch_counts"]):
+            shard.batch_index = int(batch_index)
+            shard.batch_count = int(batch_count)
+            if shard.vector_engine is not None:
+                shard.vector_engine.batch_index = int(batch_index)
+        return manifest
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
-    def _report(self, requests: int, duration_s: float,
-                latencies_s) -> ServingReport:
+    def cache_counters(self) -> CacheCounters:
+        """Aggregate cache-lifetime counters across every shard.
+
+        Counters survive :meth:`restore`, so on a warm-started server
+        they cover the donor's traffic too; diff two calls to measure
+        one run (the CLI's warm-start gate does).
+        """
+        if self.policy.request_cache:
+            return CacheCounters.aggregate(
+                shard.request_cache.counters for shard in self.shards)
+        if self.policy.vector_cache:
+            return CacheCounters.aggregate(
+                shard.vector_engine.counters() for shard in self.shards)
+        return CacheCounters()
+
+    def _report(self, requests: int, duration_s: float, latencies_s,
+                simulated_makespan_s: float = 0.0) -> ServingReport:
         quantiles = _percentiles_ms(latencies_s)
-        telemetry = self._batcher.telemetry
-        request_counters = self.request_cache.counters.to_dict() \
-            if self.request_cache is not None else {}
-        vector_counters = self.vector_engine.counters().to_dict() \
-            if self.vector_engine is not None else {}
+        telemetry = BatcherTelemetry.aggregate(
+            shard.batcher.telemetry for shard in self.shards)
+        request_counters = CacheCounters.aggregate(
+            shard.request_cache.counters for shard in self.shards
+            if shard.request_cache is not None).to_dict() \
+            if self.policy.request_cache else {}
+        vector_counters = CacheCounters.aggregate(
+            shard.vector_engine.counters() for shard in self.shards
+            if shard.vector_engine is not None).to_dict() \
+            if self.policy.vector_cache else {}
+        layer_stats = [dict(row, shard=shard.index)
+                       for shard in self.shards
+                       if shard.vector_engine is not None
+                       for row in shard.vector_engine.layer_summary()]
         if request_counters:
             hit_rate = request_counters["hit_rate"]
         elif vector_counters:
@@ -292,7 +594,7 @@ class InferenceServer:
             hit_rate = 0.0
         return ServingReport(
             requests=requests,
-            batches=self._batch_count,
+            batches=sum(shard.batch_count for shard in self.shards),
             mean_batch_size=telemetry.mean_batch_size,
             duration_s=duration_s,
             throughput_rps=requests / duration_s if duration_s else 0.0,
@@ -302,9 +604,11 @@ class InferenceServer:
             latency_mean_ms=quantiles["mean"],
             request_cache=request_counters,
             vector_cache=vector_counters,
-            layer_stats=self.vector_engine.layer_summary()
-            if self.vector_engine is not None else [],
-            hit_rate=hit_rate)
+            layer_stats=layer_stats,
+            hit_rate=hit_rate,
+            shards=self.num_shards,
+            shard_stats=[shard.stats_row() for shard in self.shards],
+            simulated_makespan_s=simulated_makespan_s)
 
     def stats(self) -> dict:
         """Live snapshot (the HTTP ``/stats`` payload).
@@ -313,11 +617,14 @@ class InferenceServer:
         server was built; ``compute_time_s`` is the model time inside
         that.
         """
-        report = self._report(self._batcher.telemetry.completed,
+        telemetry = BatcherTelemetry.aggregate(
+            shard.batcher.telemetry for shard in self.shards)
+        report = self._report(telemetry.completed,
                               time.perf_counter() - self._started_at,
-                              self._batcher.telemetry.latencies_s)
+                              telemetry.latencies_s)
         payload = report.to_dict()
-        payload["queue_depth"] = self._batcher.depth
+        payload["queue_depth"] = sum(shard.batcher.depth
+                                     for shard in self.shards)
         payload["compute_time_s"] = self._compute_time_s
         return payload
 
@@ -338,9 +645,9 @@ class HttpFrontEnd:
     ``POST /infer`` with ``{"inputs": <nested list>}`` returns
     ``{"outputs": <nested list>}``; ``GET /stats`` and ``GET /healthz``
     report telemetry and liveness.  The asyncio loop (and the
-    micro-batcher) runs on a dedicated thread; HTTP handler threads
-    submit into it and block on the result — so concurrent HTTP clients
-    still share micro-batches.
+    micro-batchers of every shard) runs on a dedicated thread; HTTP
+    handler threads submit into it and block on the result — so
+    concurrent HTTP clients still share micro-batches.
     """
 
     def __init__(self, server: InferenceServer, host: str = "127.0.0.1",
@@ -359,18 +666,30 @@ class HttpFrontEnd:
         from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
         ready = threading.Event()
+        startup_errors: list[BaseException] = []
 
         def run_loop():
             loop = asyncio.new_event_loop()
             asyncio.set_event_loop(loop)
             self._loop = loop
-            loop.run_until_complete(self.server.start())
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as error:  # noqa: BLE001 — report below
+                startup_errors.append(error)
+                ready.set()
+                return
             ready.set()
             loop.run_forever()
 
         self._loop_thread = threading.Thread(target=run_loop, daemon=True)
         self._loop_thread.start()
-        ready.wait(timeout=10)
+        # Fail loudly instead of binding HTTP to a dead event loop.
+        if not ready.wait(timeout=10):
+            raise RuntimeError("serving loop did not start within 10s")
+        if startup_errors:
+            self._loop = None
+            raise RuntimeError("serving loop failed to start") \
+                from startup_errors[0]
 
         front = self
 

@@ -57,6 +57,30 @@ class TestReproServeCli:
         assert "HTTP front end" in out
         assert "drove 8 requests over HTTP" in out
 
+    def test_sharded_warm_start_round_trip(self, tmp_path, capsys):
+        # serve → snapshot → restart → restore → the warm run must hit
+        # on (nearly) every request, which no cold run can.
+        from repro.serving.cli import serve_main
+        snap = str(tmp_path / "snap")
+        base = ["--shards", "2", "--requests", "60", "--pool-size", "8"]
+        assert serve_main(base + ["--snapshot-to", snap]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot written" in out
+        assert "2 shards" in out
+        code = serve_main(base + ["--warm-start", snap,
+                                  "--min-hit-rate", "0.97"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm-started" in out
+        assert "this run: hit rate 100.00%" in out
+
+    def test_warm_start_gate_fails_cold(self, tmp_path, capsys):
+        from repro.serving.cli import serve_main
+        code = serve_main(["--requests", "40", "--pool-size", "8",
+                           "--min-hit-rate", "0.99"])
+        assert code == 1
+        assert "FAIL hit rate" in capsys.readouterr().out
+
 
 class TestReproSweepCli:
     def test_sweep_writes_envelope(self, tmp_path, capsys):

@@ -96,6 +96,109 @@ def golden() -> dict:
             "pinned": json.loads(GOLDEN_PATH.read_text())}
 
 
+# ----------------------------------------------------------------------
+# Sharded warm start: donor prefix → snapshot → restore → held-out suffix
+# ----------------------------------------------------------------------
+WARM_GOLDEN_PATH = Path(__file__).parent / "golden" / \
+    "serving_warm_start.json"
+WARM_SHARDS = 2
+WARM_PREFIX = 100  # trace[:100] trains the donor; trace[100:] is held out
+
+
+def _sharded_server():
+    model = build_model("squeezenet", num_classes=4, seed=MODEL_SEED)
+    return InferenceServer(model, POLICIES["request_exact"], BATCHER,
+                           shards=WARM_SHARDS)
+
+
+def _warm_start_payload() -> dict:
+    pool, trace = _pieces()
+    prefix, suffix = trace[:WARM_PREFIX], trace[WARM_PREFIX:]
+
+    donor = _sharded_server()
+    _, donor_report = donor.replay(prefix, pool)
+    restored = _sharded_server()
+    outputs = None
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        donor.snapshot(tmp)
+        restored.restore(tmp)
+        outputs, suffix_report = restored.replay(suffix, pool)
+    oracle = restored.oracle_outputs(pool)
+    identical = sum(
+        1 for request, output in zip(suffix, outputs)
+        if np.array_equal(output, oracle[request.pool_index]))
+    return {
+        "shards": WARM_SHARDS,
+        "prefix_requests": len(prefix),
+        "suffix_requests": len(suffix),
+        "donor": {"hit_rate": donor_report.hit_rate,
+                  "request_cache": donor_report.request_cache,
+                  "shard_requests": [row["requests"] for row
+                                     in donor_report.shard_stats]},
+        "restored_suffix": {"hit_rate": suffix_report.hit_rate,
+                            "request_cache": suffix_report.request_cache,
+                            "shard_requests": [row["requests"] for row
+                                               in suffix_report.shard_stats]},
+        "suffix_bit_identical": identical,
+    }
+
+
+@pytest.fixture(scope="module")
+def warm_golden() -> dict:
+    payload = _warm_start_payload()
+    if os.environ.get("GOLDEN_REGENERATE"):
+        WARM_GOLDEN_PATH.write_text(json.dumps(payload, indent=2,
+                                               sort_keys=True) + "\n")
+    assert WARM_GOLDEN_PATH.exists(), \
+        "golden file missing; run with GOLDEN_REGENERATE=1"
+    return {"current": payload,
+            "pinned": json.loads(WARM_GOLDEN_PATH.read_text())}
+
+
+class TestGoldenWarmStart:
+    def test_warm_start_statistics_match_pinned(self, warm_golden):
+        assert warm_golden["current"] == warm_golden["pinned"]
+
+    def test_restored_suffix_matches_live_continuation(self):
+        """Restore == the donor simply continuing on the suffix."""
+        pool, trace = _pieces()
+        prefix, suffix = trace[:WARM_PREFIX], trace[WARM_PREFIX:]
+        continuing = _sharded_server()
+        continuing.replay(prefix, pool)
+        expected_outputs, expected_report = continuing.replay(suffix, pool)
+
+        donor = _sharded_server()
+        donor.replay(prefix, pool)
+        restored = _sharded_server()
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            donor.snapshot(tmp)
+            restored.restore(tmp)
+        outputs, report = restored.replay(suffix, pool)
+        for left, right in zip(expected_outputs, outputs):
+            assert left.tobytes() == right.tobytes()
+        assert report.request_cache == expected_report.request_cache
+        # Cache state matches; the routed-request telemetry is
+        # per-process, so the restored server only counts the suffix.
+        def cache_state(rows):
+            return [{key: value for key, value in row.items()
+                     if key != "requests"} for row in rows]
+        assert cache_state(report.shard_stats) == \
+            cache_state(expected_report.shard_stats)
+
+    def test_pinned_file_shows_hit_carryover(self, warm_golden):
+        pinned = warm_golden["pinned"]
+        # The held-out suffix replays against warm caches, so its hit
+        # rate must beat the donor's cold-start run (which paid every
+        # first sighting) — that is the carryover the snapshot buys.
+        assert pinned["restored_suffix"]["hit_rate"] > \
+            pinned["donor"]["hit_rate"]
+        assert pinned["suffix_bit_identical"] == \
+            pinned["suffix_requests"]
+        assert pinned["shards"] == WARM_SHARDS
+
+
 class TestGoldenServing:
     def test_exact_mode_outputs_byte_identical(self):
         trace, outputs, report, oracle = _serve("request_exact")

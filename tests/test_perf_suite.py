@@ -49,10 +49,28 @@ def test_segment_payload_shape():
 
 def test_check_floors_flags_misses():
     payload = {"speedups": {"im2col": 2.0, "baseline_memoization": 1.2,
+                            "serving_sharded": 2.0,
                             "functional_sweep": 3.0}}
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
     assert check_floors(payload, floor=1.1) == []
+
+
+def test_check_floors_gates_sharded_serving():
+    payload = {"speedups": {"im2col": 2.0, "baseline_memoization": 2.0,
+                            "serving_sharded": 1.1}}
+    failures = check_floors(payload, floor=1.5, sharded_floor=1.2)
+    assert len(failures) == 1 and "serving_sharded" in failures[0]
+    assert check_floors(payload, floor=1.5, sharded_floor=1.05) == []
+
+
+def test_check_floors_fails_on_missing_gated_segment():
+    # A gated segment disappearing from the payload must not silently
+    # disable the gate.
+    payload = {"speedups": {"im2col": 2.0, "serving_sharded": 2.0}}
+    failures = check_floors(payload, floor=1.5)
+    assert len(failures) == 1 and "baseline_memoization" in failures[0]
+    assert "missing" in failures[0]
 
 
 def test_run_suite_artifact_contract():
@@ -62,7 +80,8 @@ def test_run_suite_artifact_contract():
     assert payload["schema"] == SCHEMA
     expected = {"im2col", "rpq_projection_growth", "hitmap_multiword",
                 "train_step", "conv_group_batching", "serving_reuse",
-                "baseline_memoization", "functional_sweep"}
+                "serving_sharded", "baseline_memoization",
+                "functional_sweep"}
     assert set(payload["segments"]) == expected
     assert set(payload["speedups"]) == expected
     for segment in payload["segments"].values():

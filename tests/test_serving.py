@@ -96,6 +96,41 @@ class TestSignatureResultCache:
         _, again = cache.serve(vectors, self._compute(vectors, weights), 6)
         assert again.cross_hit_rows == 3
 
+    def test_ttl_zero_expires_immediately(self, rng):
+        # ttl_batches=0 must mean "expire immediately": entries only
+        # serve within the micro-batch index that wrote them, so
+        # cross-batch reuse is off while intra-batch dedup still works.
+        policy = ServingPolicy(entries=64, ways=4, ttl_batches=0)
+        cache = SignatureResultCache(policy)
+        vectors = rng.normal(size=(3, 8))
+        weights = rng.normal(size=(8, 2))
+        cache.serve(vectors, self._compute(vectors, weights), 0)
+        # Same batch index: still valid.
+        _, same = cache.serve(vectors, self._compute(vectors, weights), 0)
+        assert same.cross_hit_rows == 3
+        # Any later batch: expired and refreshed, every time.
+        _, later = cache.serve(vectors, self._compute(vectors, weights), 1)
+        assert later.cross_hit_rows == 0
+        assert later.computed_unique == 3
+        assert cache.counters.expired == 3
+        _, again = cache.serve(vectors, self._compute(vectors, weights), 2)
+        assert again.cross_hit_rows == 0
+
+    def test_ttl_none_never_expires(self, rng):
+        policy = ServingPolicy(entries=64, ways=4, ttl_batches=None)
+        cache = SignatureResultCache(policy)
+        vectors = rng.normal(size=(3, 8))
+        weights = rng.normal(size=(8, 2))
+        cache.serve(vectors, self._compute(vectors, weights), 0)
+        _, outcome = cache.serve(vectors, self._compute(vectors, weights),
+                                 10_000)
+        assert outcome.cross_hit_rows == 3
+        assert cache.counters.expired == 0
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl_batches"):
+            ServingPolicy(ttl_batches=-1)
+
     def test_exact_check_demotes_collisions(self, rng):
         # 1-bit signatures guarantee aliasing between distinct vectors.
         policy = ServingPolicy(entries=4, ways=2, signature_bits=1,
@@ -138,6 +173,95 @@ class TestSignatureResultCache:
         counters = cache.counters
         assert counters.requests == 80
         assert counters.hits + counters.computed == counters.requests
+
+
+# ----------------------------------------------------------------------
+# Admission policies
+# ----------------------------------------------------------------------
+class TestAdmissionPolicies:
+    @staticmethod
+    def _compute(vectors, weights):
+        return lambda rows: vectors[rows] @ weights
+
+    def test_frequency_gate_defers_first_sighting(self, rng):
+        policy = ServingPolicy(entries=64, ways=4, admission="frequency",
+                               admission_min_frequency=2)
+        cache = SignatureResultCache(policy)
+        vectors = rng.normal(size=(4, 8))
+        weights = rng.normal(size=(8, 2))
+        # First sighting: computed but not admitted.
+        _, first = cache.serve(vectors, self._compute(vectors, weights), 0)
+        assert first.inserted_unique == 0
+        assert first.rejected_unique == 4
+        assert cache.occupancy() == 0
+        # Second sighting reaches the frequency bar: admitted now.
+        _, second = cache.serve(vectors, self._compute(vectors, weights), 1)
+        assert second.inserted_unique == 4
+        assert cache.occupancy() == 4
+        # Third sighting: served from the cache.
+        _, third = cache.serve(vectors, self._compute(vectors, weights), 2)
+        assert third.cross_hit_rows == 4
+
+    def test_frequency_gate_counts_rows_not_batches(self, rng):
+        policy = ServingPolicy(entries=64, ways=4, admission="frequency",
+                               admission_min_frequency=2)
+        cache = SignatureResultCache(policy)
+        row = rng.normal(size=8)
+        vectors = np.stack([row, row])  # two rows, one signature
+        weights = rng.normal(size=(8, 2))
+        _, outcome = cache.serve(vectors, self._compute(vectors, weights), 0)
+        # Two sightings in one batch satisfy min_frequency=2.
+        assert outcome.inserted_unique == 1
+        assert cache.occupancy() == 1
+
+    def test_one_shot_traffic_never_pollutes_frequency_cache(self, rng):
+        policy = ServingPolicy(entries=64, ways=4, admission="frequency",
+                               admission_min_frequency=3)
+        cache = SignatureResultCache(policy)
+        weights = rng.normal(size=(8, 2))
+        for batch in range(5):
+            vectors = rng.normal(size=(6, 8))  # fresh payloads every time
+            cache.serve(vectors, self._compute(vectors, weights), batch)
+        assert cache.occupancy() == 0
+
+    def test_size_gate_blocks_oversized_payloads(self, rng):
+        small = ServingPolicy(entries=64, ways=4, admission="size",
+                              admission_max_bytes=8 * 8)
+        cache = SignatureResultCache(small)
+        wide = rng.normal(size=(3, 16))  # 128 payload bytes > 64 allowed
+        weights = rng.normal(size=(16, 2))
+        _, outcome = cache.serve(wide, self._compute(wide, weights), 0)
+        assert outcome.inserted_unique == 0
+        assert cache.occupancy() == 0
+        narrow_cache = SignatureResultCache(small)
+        narrow = rng.normal(size=(3, 8))  # exactly at the 64-byte cap
+        weights8 = rng.normal(size=(8, 2))
+        _, admitted = narrow_cache.serve(narrow,
+                                         self._compute(narrow, weights8), 0)
+        assert admitted.inserted_unique == 3
+
+    def test_admission_results_stay_correct(self, rng):
+        # Whatever the gate decides, served rows equal the plain matmul.
+        for admission in ("always", "frequency", "size"):
+            policy = ServingPolicy(entries=64, ways=4, admission=admission,
+                                   admission_max_bytes=1)
+            cache = SignatureResultCache(policy)
+            weights = rng.normal(size=(8, 2))
+            for batch in range(3):
+                vectors = rng.normal(size=(10, 8))
+                vectors[5:] = vectors[:5]
+                results, _ = cache.serve(vectors,
+                                         self._compute(vectors, weights),
+                                         batch)
+                np.testing.assert_array_equal(results, vectors @ weights)
+
+    def test_invalid_admission_configs_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            ServingPolicy(admission="sometimes")
+        with pytest.raises(ValueError, match="admission_min_frequency"):
+            ServingPolicy(admission="frequency", admission_min_frequency=0)
+        with pytest.raises(ValueError, match="admission_max_bytes"):
+            ServingPolicy(admission="size", admission_max_bytes=0)
 
 
 # ----------------------------------------------------------------------
@@ -463,6 +587,184 @@ class TestInferenceServer:
                                           oracle[request.pool_index])
         assert report.hit_rate > 0
 
+    def test_sharded_exact_mode_bit_identical_at_any_shard_count(
+            self, small_pool, zipf_trace):
+        for shards in (2, 3):
+            model = build_model("squeezenet", num_classes=4, seed=3)
+            server = InferenceServer(
+                model,
+                ServingPolicy(request_cache=True, vector_cache=False,
+                              exact_check=True, compute="per_request"),
+                BatcherConfig(max_batch_size=8, max_wait_s=0.001),
+                shards=shards)
+            outputs, report = server.replay(zipf_trace, small_pool)
+            oracle = server.oracle_outputs(small_pool)
+            for request, output in zip(zipf_trace, outputs):
+                np.testing.assert_array_equal(output,
+                                              oracle[request.pool_index])
+            assert report.shards == shards
+            assert len(report.shard_stats) == shards
+            assert sum(row["requests"]
+                       for row in report.shard_stats) == len(zipf_trace)
+
+    def test_sharded_replay_is_deterministic(self, small_pool, zipf_trace):
+        def run():
+            model = build_model("squeezenet", num_classes=4, seed=3)
+            server = InferenceServer(
+                model, ServingPolicy(compute="per_request"), shards=3)
+            outputs, report = server.replay(zipf_trace, small_pool)
+            return outputs, report
+
+        outputs_a, report_a = run()
+        outputs_b, report_b = run()
+        for left, right in zip(outputs_a, outputs_b):
+            np.testing.assert_array_equal(left, right)
+        assert report_a.request_cache == report_b.request_cache
+        assert report_a.batches == report_b.batches
+        assert report_a.shard_stats == report_b.shard_stats
+
+    def test_routing_keeps_repeats_on_one_shard(self, small_pool,
+                                                zipf_trace):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        server = InferenceServer(model, ServingPolicy(), shards=4)
+        for index in range(len(small_pool)):
+            owner = server.shard_for(small_pool[index])
+            assert owner == server.shard_for(small_pool[index])
+            assert 0 <= owner < 4
+        # Sharding preserves the aggregate hit rate: every repeat of a
+        # payload lands on the shard that cached it.
+        outputs, report = server.replay(zipf_trace, small_pool)
+        single = InferenceServer(build_model("squeezenet", num_classes=4,
+                                             seed=3), ServingPolicy())
+        _, single_report = single.replay(zipf_trace, small_pool)
+        assert report.request_cache["cross_hits"] > 0
+        assert report.hit_rate == pytest.approx(single_report.hit_rate,
+                                                abs=0.1)
+
+    def test_sharded_vector_engines_stay_private(self, small_pool,
+                                                 zipf_trace):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        server = InferenceServer(
+            model, ServingPolicy(request_cache=False, vector_cache=True,
+                                 entries=8192, ways=16), shards=2)
+        outputs, report = server.replay(zipf_trace, small_pool)
+        oracle = server.oracle_outputs(small_pool)
+        deviation = max(
+            float(np.max(np.abs(out - oracle[req.pool_index])))
+            for req, out in zip(zipf_trace, outputs))
+        assert deviation < 1e-9
+        engines = {id(shard.vector_engine) for shard in server.shards}
+        assert len(engines) == 2
+        # Both shards received traffic and recorded their own per-layer
+        # telemetry — the routing really does spread vector work.
+        assert {row["shard"] for row in report.layer_stats} == {0, 1}
+
+    def test_sharded_serve_trace_roundtrip(self, small_pool, zipf_trace):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        server = InferenceServer(model, ServingPolicy(), shards=2)
+        outputs, report = server.serve_trace(zipf_trace[:24], small_pool)
+        assert len(outputs) == 24
+        assert report.requests == 24
+        assert report.mean_batch_size >= 1
+
+    def test_invalid_shard_count_rejected(self):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        with pytest.raises(ValueError, match="shards"):
+            InferenceServer(model, ServingPolicy(), shards=0)
+
+
+class TestSnapshotRestore:
+    def _server(self, shards=2):
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        return InferenceServer(
+            model,
+            ServingPolicy(request_cache=True, vector_cache=False,
+                          exact_check=True, compute="per_request"),
+            BatcherConfig(max_batch_size=8, max_wait_s=0.001),
+            shards=shards)
+
+    def test_restored_server_continues_like_the_donor(self, tmp_path,
+                                                      small_pool,
+                                                      zipf_trace):
+        prefix, suffix = zipf_trace[:40], zipf_trace[40:]
+        continuing = self._server()
+        continuing.replay(prefix, small_pool)
+        expected_outputs, expected_report = continuing.replay(suffix,
+                                                              small_pool)
+
+        donor = self._server()
+        donor.replay(prefix, small_pool)
+        donor.snapshot(tmp_path / "snap")
+        restored = self._server()
+        restored.restore(tmp_path / "snap")
+        outputs, report = restored.replay(suffix, small_pool)
+
+        for left, right in zip(expected_outputs, outputs):
+            assert left.tobytes() == right.tobytes()
+        assert report.request_cache == expected_report.request_cache
+        # Cache state matches exactly; the routed-request telemetry is
+        # per-process, so the restored server only counts the suffix.
+        def cache_state(rows):
+            return [{key: value for key, value in row.items()
+                     if key != "requests"} for row in rows]
+        assert cache_state(report.shard_stats) == \
+            cache_state(expected_report.shard_stats)
+
+    def test_restore_validates_shards_and_policy(self, tmp_path,
+                                                 small_pool, zipf_trace):
+        donor = self._server(shards=2)
+        donor.replay(zipf_trace[:24], small_pool)
+        donor.snapshot(tmp_path / "snap")
+        with pytest.raises(ValueError, match="shards"):
+            self._server(shards=3).restore(tmp_path / "snap")
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        other_policy = InferenceServer(
+            model, ServingPolicy(request_cache=True, vector_cache=False,
+                                 exact_check=True, compute="per_request",
+                                 entries=1024, ways=8), shards=2)
+        with pytest.raises(ValueError, match="policy"):
+            other_policy.restore(tmp_path / "snap")
+
+    def test_restore_rejects_different_weights(self, tmp_path, small_pool,
+                                               zipf_trace):
+        # Cached outputs are only valid for the weights that produced
+        # them; a server with different parameters must refuse the
+        # snapshot instead of serving the donor's stale outputs.
+        donor = self._server()
+        donor.replay(zipf_trace[:24], small_pool)
+        donor.snapshot(tmp_path / "snap")
+        other_model = build_model("squeezenet", num_classes=4, seed=99)
+        other = InferenceServer(
+            other_model,
+            ServingPolicy(request_cache=True, vector_cache=False,
+                          exact_check=True, compute="per_request"),
+            BatcherConfig(max_batch_size=8, max_wait_s=0.001), shards=2)
+        with pytest.raises(ValueError, match="weights"):
+            other.restore(tmp_path / "snap")
+
+    def test_vector_cache_snapshot_roundtrip(self, tmp_path, small_pool,
+                                             zipf_trace):
+        def build():
+            model = build_model("squeezenet", num_classes=4, seed=3)
+            return InferenceServer(
+                model, ServingPolicy(request_cache=False, vector_cache=True,
+                                     entries=8192, ways=16), shards=2)
+
+        donor = build()
+        donor.replay(zipf_trace[:40], small_pool)
+        donor.snapshot(tmp_path / "snap")
+        restored = build()
+        restored.restore(tmp_path / "snap")
+        for shard, donor_shard in zip(restored.shards, donor.shards):
+            assert shard.vector_engine.occupancy() == \
+                donor_shard.vector_engine.occupancy()
+        # Warm vector caches serve the repeats immediately.
+        before = restored.cache_counters().hits
+        restored.replay(zipf_trace[40:], small_pool)
+        assert restored.cache_counters().hits > before
+
+
+class TestHttpFrontEnd:
     def test_http_front_end(self, small_pool):
         model = build_model("squeezenet", num_classes=4, seed=3)
         server = InferenceServer(model, ServingPolicy(

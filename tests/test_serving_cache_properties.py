@@ -1,0 +1,154 @@
+"""Hypothesis property suite for the persistent serving cache.
+
+Randomized serve sequences against :class:`SignatureResultCache`
+(equivalently, a persistent :class:`~repro.core.session.ReuseSession`)
+must preserve three invariants regardless of traffic shape, geometry or
+policy:
+
+* **capacity** — the no-replacement MCACHE never holds more lines than
+  it has, globally or per set;
+* **TTL monotonicity** — an entry's recorded insertion batch never
+  moves backwards, and a cross-batch hit is never served from an entry
+  older than ``ttl_batches`` (checked through batch-stamped payloads:
+  every served row carries the batch index that computed it);
+* **snapshot round trip** — ``state_dict`` → ``load_state_dict`` is
+  state-identical: the restored cache reports byte-equal state and
+  behaves identically on arbitrary follow-up traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import ServingPolicy, SignatureResultCache
+
+# Small vector pools force collisions, repeats and set conflicts.
+_GEOMETRIES = st.sampled_from([(8, 1), (8, 4), (16, 2), (64, 16)])
+
+
+def _pool(seed: int, pool_size: int, width: int) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(pool_size, width))
+
+
+def _batches(draw_indices: list[list[int]], pool: np.ndarray):
+    for batch in draw_indices:
+        yield pool[np.array(batch, dtype=np.int64)]
+
+
+@st.composite
+def serve_sequences(draw):
+    """(policy kwargs, pool, list of per-batch row index lists)."""
+    entries, ways = draw(_GEOMETRIES)
+    pool_size = draw(st.integers(min_value=1, max_value=12))
+    width = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    num_batches = draw(st.integers(min_value=1, max_value=6))
+    batches = [draw(st.lists(st.integers(min_value=0,
+                                         max_value=pool_size - 1),
+                             min_size=1, max_size=10))
+               for _ in range(num_batches)]
+    policy = dict(
+        entries=entries, ways=ways,
+        signature_bits=draw(st.sampled_from([4, 16, 32])),
+        ttl_batches=draw(st.sampled_from([None, 0, 1, 3])),
+        exact_check=draw(st.booleans()),
+        admission=draw(st.sampled_from(["always", "frequency", "size"])),
+        admission_min_frequency=draw(st.integers(min_value=1, max_value=3)),
+        admission_max_bytes=draw(st.sampled_from([None, 8, 1024])))
+    return policy, _pool(seed, pool_size, width), batches
+
+
+def _drive(cache: SignatureResultCache, pool: np.ndarray, batches,
+           weights: np.ndarray, start_batch: int = 0):
+    outcomes = []
+    for offset, batch in enumerate(_batches(batches, pool)):
+        results, outcome = cache.serve(
+            batch, lambda rows, b=batch: b[rows] @ weights,
+            start_batch + offset)
+        outcomes.append((results, outcome))
+    return outcomes
+
+
+@given(serve_sequences())
+@settings(max_examples=40)
+def test_capacity_is_never_exceeded(sequence):
+    policy_kwargs, pool, batches = sequence
+    policy = ServingPolicy(request_cache=True, **policy_kwargs)
+    cache = SignatureResultCache(policy)
+    weights = np.random.default_rng(1).normal(size=(pool.shape[1], 3))
+    for offset, batch in enumerate(_batches(batches, pool)):
+        cache.serve(batch, lambda rows, b=batch: b[rows] @ weights, offset)
+        assert cache.occupancy() <= policy.entries
+        per_set = cache.mcache._valid_tag.sum(axis=1)
+        assert (per_set <= policy.ways).all()
+        # Occupied ways form a prefix (the no-replacement insert rule).
+        assert (per_set == cache.mcache._occupancy).all()
+
+
+@given(serve_sequences())
+@settings(max_examples=40)
+def test_ttl_hits_are_never_stale_and_ages_are_monotonic(sequence):
+    policy_kwargs, pool, batches = sequence
+    # Stamp every computed row with its batch index: any served row
+    # whose stamp is older than the TTL proves a stale hit.  The exact
+    # check must be off so stamps may legally propagate across batches.
+    policy_kwargs = dict(policy_kwargs, exact_check=False,
+                         admission="always")
+    policy = ServingPolicy(request_cache=True, **policy_kwargs)
+    cache = SignatureResultCache(policy)
+    ttl = policy.ttl_batches
+    previous_stamps = np.empty(0, dtype=np.int64)
+    for offset, batch in enumerate(_batches(batches, pool)):
+        results, _ = cache.serve(
+            batch,
+            lambda rows, b=offset: np.full((len(rows), 1), float(b)),
+            offset)
+        if ttl is not None:
+            assert (results[:, 0] >= offset - ttl).all(), \
+                "served a row older than ttl_batches"
+        assert (results[:, 0] <= offset).all()
+        # Insertion stamps never move backwards for an existing entry.
+        stamps = cache._entry_batch.copy()
+        assert (stamps[:len(previous_stamps)] >= previous_stamps).all()
+        previous_stamps = stamps
+
+
+@given(serve_sequences(), st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=40)
+def test_snapshot_restore_round_trip_is_state_identical(sequence,
+                                                        follow_seed):
+    policy_kwargs, pool, batches = sequence
+    policy = ServingPolicy(request_cache=True, **policy_kwargs)
+    weights = np.random.default_rng(2).normal(size=(pool.shape[1], 3))
+
+    donor = SignatureResultCache(policy)
+    _drive(donor, pool, batches, weights)
+    meta, arrays = donor.state_dict()
+
+    restored = SignatureResultCache(policy)
+    restored.load_state_dict(meta, arrays)
+
+    # State-identical: a second snapshot is byte-equal.
+    meta2, arrays2 = restored.state_dict()
+    assert meta == meta2
+    assert set(arrays) == set(arrays2)
+    for name in arrays:
+        np.testing.assert_array_equal(arrays[name], arrays2[name],
+                                      err_msg=name)
+    assert restored.occupancy() == donor.occupancy()
+    np.testing.assert_array_equal(restored._entry_batch,
+                                  donor._entry_batch)
+
+    # Behaviour-identical on arbitrary follow-up traffic.
+    follow_rng = np.random.default_rng(follow_seed)
+    follow = pool[follow_rng.integers(0, len(pool), size=8)]
+    next_batch = len(batches)
+    donor_rows, donor_outcome = donor.serve(
+        follow, lambda rows: follow[rows] @ weights, next_batch)
+    restored_rows, restored_outcome = restored.serve(
+        follow, lambda rows: follow[rows] @ weights, next_batch)
+    np.testing.assert_array_equal(donor_rows, restored_rows)
+    assert donor_outcome == restored_outcome
+    assert vars(donor.counters) == vars(restored.counters)

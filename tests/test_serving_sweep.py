@@ -49,6 +49,29 @@ class TestServingGrid:
             policy = policy_for(point)
             assert policy.entries == point.entries
 
+    def test_shard_and_admission_axes_expand(self):
+        points = build_serving_grid(models=("squeezenet",),
+                                    traffics=("zipfian",),
+                                    cache_policies=("request_exact",),
+                                    shard_counts=(1, 2, 4),
+                                    admissions=("always", "frequency"),
+                                    **QUICK)
+        assert len(points) == 6
+        assert {point.shards for point in points} == {1, 2, 4}
+        assert {point.admission for point in points} == \
+            {"always", "frequency"}
+
+    def test_admission_reaches_the_policy(self):
+        from repro.analysis.serving_sweep import policy_for
+        point = ServingPoint(admission="frequency", **QUICK)
+        assert policy_for(point).admission == "frequency"
+
+    def test_invalid_shard_and_admission_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ServingPoint(shards=0, **QUICK)
+        with pytest.raises(ValueError, match="admission"):
+            ServingPoint(admission="magic", **QUICK)
+
 
 class TestEvaluateServingPoint:
     def test_row_schema_and_content(self):
@@ -74,6 +97,35 @@ class TestEvaluateServingPoint:
                                                   **QUICK))
         assert row["hit_rate"] == 0.0
         assert row["request_hit_rate"] == 0.0
+
+    def test_sharded_rows_are_deterministic(self):
+        # Same trace + same shard count ⇒ identical cache decisions and
+        # exactness columns (wall-clock columns are measurements and
+        # legitimately vary run to run).
+        point = ServingPoint(cache_policy="request_exact", shards=3,
+                             **QUICK)
+        left = evaluate_serving_point(point)
+        right = evaluate_serving_point(point)
+        for key in ("hit_rate", "request_hit_rate", "batches",
+                    "bit_identical_fraction", "shard_hit_rates",
+                    "shard_requests", "shard_balance"):
+            assert left[key] == right[key], key
+        assert left["shards"] == 3
+        assert left["bit_identical_fraction"] == 1.0
+        assert len(left["shard_hit_rates"]) == 3
+        assert sum(left["shard_requests"]) == QUICK["num_requests"]
+        assert left["shard_balance"] >= 1.0
+
+    def test_admission_column_lands_in_rows(self):
+        row = evaluate_serving_point(
+            ServingPoint(cache_policy="request_exact",
+                         admission="frequency", **QUICK))
+        assert row["admission"] == "frequency"
+        # Frequency gating delays insertion, so the first sighting of
+        # every key is rejected and hit rate drops vs always-admit.
+        always = evaluate_serving_point(
+            ServingPoint(cache_policy="request_exact", **QUICK))
+        assert row["hit_rate"] <= always["hit_rate"]
 
 
 class TestServingSweepResults:
