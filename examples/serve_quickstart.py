@@ -14,13 +14,18 @@ payload — and the reuse/latency telemetry is printed.
     python examples/serve_quickstart.py --traffic bursty --requests 200 \
         --check --p99-floor-ms 250
     python examples/serve_quickstart.py --shards 4 --check
+    python examples/serve_quickstart.py --parallel --workers 4 --check
     python examples/serve_quickstart.py --http  # also smoke the HTTP door
 
-``--check`` turns the run into a gate (the CI serving-smoke job): it
-exits non-zero unless the hit rate is positive, the outputs match the
-oracle bit-for-bit, and p99 latency stays under the floor — at any
-shard count, since exact per-request serving is byte-identical to the
-oracle no matter how requests are routed.
+``--parallel`` runs the shards as real worker processes behind the
+same router (measured wall-clock makespan, supervised crash recovery)
+— the byte-identity check holds there too, since each worker applies
+the same exact-cache serving path.  ``--check`` turns the run into a
+gate (the CI serving-smoke job): it exits non-zero unless the hit rate
+is positive, the outputs match the oracle bit-for-bit, and p99 latency
+stays under the floor — at any shard or worker count, since exact
+per-request serving is byte-identical to the oracle no matter how
+requests are routed.
 """
 
 from __future__ import annotations
@@ -64,6 +69,11 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=1,
                         help="worker shards behind the signature-hash "
                              "router")
+    parser.add_argument("--parallel", action="store_true",
+                        help="run the shards as real worker processes "
+                             "(measured wall-clock makespan)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker-process count for --parallel")
     parser.add_argument("--vector-cache", action="store_true",
                         help="layer the per-layer vector cache under the "
                              "request cache")
@@ -98,11 +108,20 @@ def main(argv=None) -> int:
     policy = ServingPolicy(request_cache=True,
                            vector_cache=args.vector_cache,
                            exact_check=True, compute="per_request")
-    server = InferenceServer(model, policy,
-                             BatcherConfig(max_batch_size=args.batch_size,
-                                           max_wait_s=0.001),
-                             shards=args.shards)
-    outputs, report = server.replay(trace, pool)
+    config = BatcherConfig(max_batch_size=args.batch_size,
+                           max_wait_s=0.001)
+    shards = args.workers if args.parallel else args.shards
+    server = InferenceServer(model, policy, config, shards=shards)
+    if args.parallel:
+        from repro.serving import ParallelInferenceServer
+        with ParallelInferenceServer(model, policy, config,
+                                     workers=args.workers) as parallel:
+            outputs, report = parallel.replay(trace, pool)
+        print(f"{args.workers} worker processes: measured makespan "
+              f"{report.measured_makespan_s:.3f}s "
+              f"({report.recoveries} recoveries)")
+    else:
+        outputs, report = server.replay(trace, pool)
 
     print(f"served {report.requests} requests in {report.duration_s:.2f}s "
           f"({report.throughput_rps:.0f} rps, "
@@ -113,7 +132,7 @@ def main(argv=None) -> int:
           f"{report.request_cache['intra_hits']} intra-batch hits)")
     print(f"latency: p50 {report.latency_p50_ms:.2f} ms, "
           f"p99 {report.latency_p99_ms:.2f} ms")
-    if args.shards > 1:
+    if report.shards > 1:
         shares = ", ".join(f"shard {row['shard']}: {row['requests']} reqs "
                            f"{row['hit_rate']:.0%}"
                            for row in report.shard_stats)

@@ -68,6 +68,7 @@ SERVING_RESULT_KEYS = frozenset({
     "hit_rate", "request_hit_rate", "vector_hit_rate",
     "batches", "mean_batch_size",
     "shards", "admission", "shard_balance", "simulated_makespan_s",
+    "parallel_workers", "measured_makespan_s",
     "distinct_payloads", "top_key_share",
     "bit_identical_fraction", "max_abs_deviation",
     "compute_time_s", "elapsed_s",
@@ -95,6 +96,10 @@ class ServingPoint:
     max_wait_ms: float = 1.0
     shards: int = 1
     admission: str = "always"
+    # 0 = in-process replay (simulated makespan); == shards = run the
+    # shards as real worker processes and measure the wall-clock
+    # makespan (the ``measured_makespan_s`` column).
+    parallel_workers: int = 0
     seed: int = 0
 
     def __post_init__(self):
@@ -114,6 +119,10 @@ class ServingPoint:
         if self.admission not in ADMISSION_POLICIES:
             raise ValueError(f"unknown admission {self.admission!r}; "
                              f"choose from {ADMISSION_POLICIES}")
+        if self.parallel_workers not in (0, self.shards):
+            raise ValueError(
+                "parallel_workers must be 0 (in-process replay) or equal "
+                "to shards (each shard becomes one worker process)")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
 
@@ -124,14 +133,23 @@ def build_serving_grid(models=("squeezenet",),
                                        "vector_trust"),
                        batch_sizes=(8,), shard_counts=(1,),
                        admissions=("always",), seeds=(0,),
-                       **fixed) -> list[ServingPoint]:
-    """Cross product of the serving scenario axes."""
+                       parallel=False, **fixed) -> list[ServingPoint]:
+    """Cross product of the serving scenario axes.
+
+    With ``parallel`` every multi-shard point also runs its shards as
+    real worker processes (``parallel_workers == shards``), adding the
+    measured-makespan column next to the simulated one.
+    """
     combos = expand_grid({"model": models, "traffic": traffics,
                           "cache_policy": cache_policies,
                           "batch_size": batch_sizes,
                           "shards": shard_counts,
                           "admission": admissions, "seed": seeds})
-    return [ServingPoint(**combo, **fixed) for combo in combos]
+    return [ServingPoint(**combo,
+                         parallel_workers=combo["shards"]
+                         if parallel and combo["shards"] > 1 else 0,
+                         **fixed)
+            for combo in combos]
 
 
 def policy_for(point: ServingPoint) -> ServingPolicy:
@@ -165,11 +183,38 @@ def serving_pieces(point: ServingPoint):
 
 
 def evaluate_serving_point(point: ServingPoint) -> dict:
-    """Replay one scenario and measure throughput, latency, exactness."""
-    start = time.perf_counter()
-    _, pool, trace, server = serving_pieces(point)
+    """Replay one scenario and measure throughput, latency, exactness.
 
-    outputs, report = server.replay(trace, pool)
+    Points with ``parallel_workers`` run the shards as real worker
+    processes (:class:`~repro.serving.parallel.ParallelInferenceServer`)
+    and record the measured wall-clock makespan next to the in-process
+    replay's simulated one.  Such points must evaluate in-process
+    (``processes=0``): pool children are daemonic and cannot spawn the
+    worker processes themselves.
+    """
+    start = time.perf_counter()
+    model, pool, trace, server = serving_pieces(point)
+
+    if point.parallel_workers:
+        import multiprocessing
+
+        from repro.serving.parallel import ParallelInferenceServer
+        if multiprocessing.current_process().daemon:
+            raise RuntimeError(
+                "parallel_workers points cannot run inside a sweep "
+                "worker pool (daemonic children cannot spawn); rerun "
+                "with processes=0")
+        parallel = ParallelInferenceServer(
+            model, policy_for(point),
+            BatcherConfig(max_batch_size=point.batch_size,
+                          max_wait_s=point.max_wait_ms / 1e3),
+            workers=point.parallel_workers)
+        with parallel:
+            outputs, report = parallel.replay(trace, pool)
+        compute_time_s = parallel._compute_time_s
+    else:
+        outputs, report = server.replay(trace, pool)
+        compute_time_s = server._compute_time_s
     oracle = server.oracle_outputs(pool)
 
     identical = 0
@@ -200,7 +245,7 @@ def evaluate_serving_point(point: ServingPoint) -> dict:
         "top_key_share": float(shape["top_key_share"]),
         "bit_identical_fraction": identical / len(trace),
         "max_abs_deviation": max_deviation,
-        "compute_time_s": float(server._compute_time_s),
+        "compute_time_s": float(compute_time_s),
         "layer_stats": report.layer_stats,
         # Shard-level columns: per-shard hit rates and how evenly the
         # consistent-hash routing spread the requests (1.0 = perfectly
@@ -211,6 +256,8 @@ def evaluate_serving_point(point: ServingPoint) -> dict:
         "shard_balance": float(max(shard_requests) / mean_share)
         if mean_share else 1.0,
         "simulated_makespan_s": float(report.simulated_makespan_s),
+        "measured_makespan_s": float(report.measured_makespan_s),
+        "recoveries": int(report.recoveries),
     }, started=start)
     return row
 
@@ -271,6 +318,9 @@ def main(argv=None) -> int:
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--pool-size", type=int, default=24)
     parser.add_argument("--seeds", nargs="+", type=int, default=[0])
+    parser.add_argument("--parallel", action="store_true",
+                        help="run multi-shard points as real worker "
+                             "processes (adds measured_makespan_s)")
     parser.add_argument("--processes", type=int, default=None,
                         help="pool size (0 = in-process)")
     parser.add_argument("--output", default=None,
@@ -283,10 +333,19 @@ def main(argv=None) -> int:
                                 shard_counts=args.shards,
                                 admissions=args.admissions,
                                 seeds=args.seeds,
+                                parallel=args.parallel,
                                 num_requests=args.requests,
                                 pool_size=args.pool_size)
     print(f"serving sweep: {len(points)} points")
-    results = run_serving_sweep(points, processes=args.processes)
+    processes = args.processes
+    if any(point.parallel_workers for point in points):
+        # Worker processes cannot be spawned from daemonic pool
+        # children; parallel points force the in-process executor.
+        if processes not in (None, 0):
+            print("note: --parallel forces --processes 0 (sweep pool "
+                  "children cannot spawn worker processes)")
+        processes = 0
+    results = run_serving_sweep(points, processes=processes)
 
     from repro.analysis.reporting import render_results
     print(render_results(results))

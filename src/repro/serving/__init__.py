@@ -21,6 +21,11 @@ signature machinery pays off *across* requests.  This package provides
   cache :meth:`~repro.serving.server.InferenceServer.snapshot` /
   :meth:`~repro.serving.server.InferenceServer.restore` persistence
   and an optional stdlib HTTP front end;
+* :class:`~repro.serving.parallel.ParallelInferenceServer` — the
+  hash-ring shards as real worker processes (measured wall-clock
+  makespan) with supervised crash recovery
+  (:class:`~repro.serving.parallel.FaultInjection` makes the recovery
+  path testable);
 * :mod:`~repro.serving.router` — deterministic signature-hash routing
   on a SHA-256 consistent ring;
 * :mod:`~repro.serving.loadgen` — deterministic traffic generators
@@ -46,6 +51,7 @@ from repro.serving.loadgen import (
     build_request_pool,
     generate_trace,
 )
+from repro.serving.parallel import FaultInjection, ParallelInferenceServer
 from repro.serving.router import ConsistentHashRing, signature_key
 from repro.serving.server import InferenceServer, ServingReport
 
@@ -54,8 +60,10 @@ __all__ = [
     "ConsistentHashRing",
     "signature_key",
     "CacheCounters",
+    "FaultInjection",
     "InferenceServer",
     "MicroBatcher",
+    "ParallelInferenceServer",
     "Request",
     "ServeOutcome",
     "ServingPolicy",

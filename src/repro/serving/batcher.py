@@ -10,6 +10,13 @@ when its oldest request has waited long enough.  The queue itself is
 bounded (``max_queue``), so a slow backend exerts backpressure on
 producers instead of buffering without limit (the INFN-style
 queued-scale-out behaviour under bursty load: absorb, then drain).
+
+Telemetry is bounded too: a serve-forever process must not grow one
+list entry per request, so :class:`BatcherTelemetry` keeps exact
+running counters (counts, row totals, latency sum) plus a fixed-size
+deterministic :class:`Reservoir` sample of the latency and batch-size
+distributions — percentiles computed from the sample stay within a few
+percent of the exact values at any stream length (regression-tested).
 """
 
 from __future__ import annotations
@@ -17,6 +24,13 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default sample capacity of one telemetry reservoir.  4096 points keep
+#: p50/p99 within a few percent of the exact stream percentiles while
+#: bounding memory at ~32 KiB per metric regardless of uptime.
+RESERVOIR_CAPACITY = 4096
 
 
 @dataclass(frozen=True)
@@ -36,40 +50,130 @@ class BatcherConfig:
             raise ValueError("max_queue must be positive")
 
 
+class Reservoir:
+    """Fixed-size uniform sample of an unbounded value stream.
+
+    Classic reservoir sampling (Algorithm R) with a seeded generator,
+    so a given stream always yields the same sample — sweep rows and
+    regression tests stay reproducible.  Until ``capacity`` values have
+    been recorded the sample *is* the stream (exact); past that, each
+    value replaces a uniformly random slot with probability
+    ``capacity / count``.
+    """
+
+    __slots__ = ("capacity", "count", "_values", "_rng")
+
+    def __init__(self, capacity: int = RESERVOIR_CAPACITY, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self._values: list[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        if len(self._values) < self.capacity:
+            self._values.append(float(value))
+            return
+        slot = int(self._rng.integers(0, self.count))
+        if slot < self.capacity:
+            self._values[slot] = float(value)
+
+    @property
+    def saturated(self) -> bool:
+        """Whether eviction has begun (the sample is no longer exact)."""
+        return self.count > self.capacity
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def values_since(self, mark: int) -> np.ndarray:
+        """Values recorded after ``mark`` (a prior :attr:`count`).
+
+        Exact while the reservoir has not evicted — the common case for
+        one bounded run (a replay, a test) on a fresh batcher.  On a
+        saturated reservoir the suffix is no longer identifiable, so
+        the full sample is returned as the best available
+        approximation of the recent distribution.
+        """
+        if not self.saturated and 0 <= mark <= len(self._values):
+            return np.asarray(self._values[mark:], dtype=np.float64)
+        return self.values()
+
+    def absorb(self, other: "Reservoir") -> None:
+        """Fold another reservoir's sample in (for aggregate reports)."""
+        self.count += other.count
+        self._values.extend(other._values)
+
+
 @dataclass
 class BatcherTelemetry:
-    """Latency/batch-shape measurements of one batcher lifetime."""
+    """Latency/batch-shape measurements of one batcher lifetime.
 
-    latencies_s: list = field(default_factory=list)
-    batch_sizes: list = field(default_factory=list)
+    Counters (``submitted``/``completed``/``failed``/``batches``/
+    ``rows``/``latency_sum_s``) are exact forever; the latency and
+    batch-size *distributions* are bounded reservoir samples, so a
+    serve-forever process holds a fixed amount of telemetry no matter
+    how many requests it sees.
+    """
+
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    #: Micro-batches executed / total rows across them (exact).
+    batches: int = 0
+    rows: int = 0
+    latency_sum_s: float = 0.0
+    latencies: Reservoir = field(default_factory=Reservoir)
+    batch_sizes: Reservoir = field(
+        default_factory=lambda: Reservoir(seed=1))
 
     def record_batch(self, size: int) -> None:
-        self.batch_sizes.append(size)
+        self.batches += 1
+        self.rows += int(size)
+        self.batch_sizes.record(size)
+
+    def record_latency(self, latency_s: float) -> None:
+        self.latency_sum_s += float(latency_s)
+        self.latencies.record(latency_s)
+
+    def latency_mark(self) -> int:
+        """A token for :meth:`latencies_since` (the current count)."""
+        return self.latencies.count
+
+    def latencies_since(self, mark: int) -> np.ndarray:
+        return self.latencies.values_since(mark)
+
+    def latency_values(self) -> np.ndarray:
+        return self.latencies.values()
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes:
+        """Exact at any stream length (running totals, not the sample)."""
+        if not self.batches:
             return 0.0
-        return sum(self.batch_sizes) / len(self.batch_sizes)
+        return self.rows / self.batches
 
     @classmethod
     def aggregate(cls, telemetries) -> "BatcherTelemetry":
         """Merge several batchers' telemetry (the sharded server's view).
 
-        Latencies and batch shapes concatenate; counters sum.  Order
-        within the merged lists is per-shard, which is irrelevant to
-        every consumer (percentiles, means, counts).
+        Counters sum exactly; the merged latency/batch-size samples
+        concatenate (a report-grade view — the aggregate object is
+        transient, so its sample is allowed to exceed one reservoir's
+        capacity).
         """
         total = cls()
         for telemetry in telemetries:
-            total.latencies_s.extend(telemetry.latencies_s)
-            total.batch_sizes.extend(telemetry.batch_sizes)
             total.submitted += telemetry.submitted
             total.completed += telemetry.completed
             total.failed += telemetry.failed
+            total.batches += telemetry.batches
+            total.rows += telemetry.rows
+            total.latency_sum_s += telemetry.latency_sum_s
+            total.latencies.absorb(telemetry.latencies)
+            total.batch_sizes.absorb(telemetry.batch_sizes)
         return total
 
 
@@ -104,6 +208,9 @@ class MicroBatcher:
         # that lands after queue.join() would otherwise orphan its
         # future forever.
         self._inflight = 0
+        # Set whenever _inflight is zero; stop() awaits it instead of
+        # spinning the event loop with zero-delay sleeps.
+        self._drained: asyncio.Event | None = None
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -111,6 +218,9 @@ class MicroBatcher:
             raise RuntimeError("batcher already started")
         self._closed = False
         self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._drained = asyncio.Event()
+        if not self._inflight:
+            self._drained.set()
         self._collector = asyncio.get_running_loop().create_task(
             self._collect())
 
@@ -121,9 +231,10 @@ class MicroBatcher:
         self._closed = True
         # Wait for every admitted submission to resolve — not just the
         # queue to empty: a submit suspended at its put() has nothing
-        # in the queue yet, and joining too early would strand it.
-        while self._inflight:
-            await asyncio.sleep(0)
+        # in the queue yet, and joining too early would strand it.  The
+        # drained event is set by the last in-flight submit, so this
+        # parks instead of busy-polling the loop.
+        await self._drained.wait()
         await self._queue.join()
         self._collector.cancel()
         try:
@@ -155,11 +266,14 @@ class MicroBatcher:
         pending = _Pending(payload, future, time.perf_counter())
         self.telemetry.submitted += 1
         self._inflight += 1
+        self._drained.clear()
         try:
             await self._queue.put(pending)
             return await future
         finally:
             self._inflight -= 1
+            if not self._inflight:
+                self._drained.set()
 
     # ------------------------------------------------------------------
     async def _collect(self) -> None:
@@ -205,7 +319,7 @@ class MicroBatcher:
             return
         now = time.perf_counter()
         for item, result in zip(batch, results):
-            self.telemetry.latencies_s.append(now - item.enqueued_at)
+            self.telemetry.record_latency(now - item.enqueued_at)
             self.telemetry.completed += 1
             if not item.future.done():
                 item.future.set_result(result)

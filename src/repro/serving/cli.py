@@ -10,13 +10,20 @@ the HTTP front end:
     repro-serve --shards 4 --admission frequency
     repro-serve --shards 2 --snapshot-to snap/          # persist caches
     repro-serve --shards 2 --warm-start snap/ --min-hit-rate 0.97
+    repro-serve --parallel --workers 4                  # real processes
+    repro-serve --parallel --workers 4 --kill-worker 1  # crash recovery
     repro-serve --http --port 8080 --serve-forever
     repro-serve --http --requests 50     # drive the trace over HTTP
 
 ``--snapshot-to`` writes the cache state after the replay;
 ``--warm-start`` restores it before serving, so a restarted server
 keeps its hit rate; ``--min-hit-rate`` turns the run into a gate (the
-CI warm-start round trip).  Installed by ``setup.py``
+CI warm-start round trip).  ``--parallel`` runs the hash-ring shards
+as real worker processes with supervised crash recovery;
+``--kill-worker``/``--kill-after-batches`` inject a fault into the
+replay (the CI parallel-serving smoke), and ``--parity-check``
+asserts the parallel run converges to the single-process replay's
+outputs and hit counters.  Installed by ``setup.py``
 (``console_scripts``); equally runnable as ``python -m
 repro.serving.cli``.
 """
@@ -26,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import urllib.request
 
 import numpy as np
@@ -35,6 +43,10 @@ from repro.analysis.serving_sweep import (CACHE_POLICIES, ServingPoint,
 from repro.core.session import ADMISSION_POLICIES
 from repro.models.registry import MODEL_NAMES
 from repro.serving.loadgen import TRAFFIC_PATTERNS, trace_summary
+
+# --serve-forever parks on this event instead of a bare sleep loop, so
+# tests (and embedders) can stop a serving thread without SIGINT.
+_shutdown = threading.Event()
 
 
 def _print_report(report) -> None:
@@ -49,6 +61,65 @@ def _print_report(report) -> None:
             f"shard {row['shard']}: {row['requests']} reqs "
             f"{row['hit_rate']:.0%}" for row in report.shard_stats)
         print(f"{report.shards} shards ({shares})")
+
+
+def _parallel_main(args, point, pool, trace, server) -> int:
+    """The ``--parallel`` replay: real workers, supervised recovery."""
+    from repro.analysis.serving_sweep import policy_for
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.parallel import (FaultInjection,
+                                        ParallelInferenceServer)
+
+    fault = None
+    if args.kill_worker is not None:
+        fault = FaultInjection(worker=args.kill_worker,
+                               kill_after_batches=args.kill_after_batches)
+        print(f"fault injection: kill worker {fault.worker} after "
+              f"{fault.kill_after_batches} batches")
+    parallel = ParallelInferenceServer(
+        server.model, policy_for(point),
+        BatcherConfig(max_batch_size=point.batch_size,
+                      max_wait_s=point.max_wait_ms / 1e3),
+        workers=args.workers, snapshot_every_batches=args.snapshot_every,
+        fault=fault)
+    with parallel:
+        outputs, report = parallel.replay(trace, pool)
+    _print_report(report)
+    print(f"{args.workers} worker processes: measured makespan "
+          f"{report.measured_makespan_s:.3f}s, "
+          f"{report.recoveries} recover"
+          f"{'y' if report.recoveries == 1 else 'ies'}")
+    if args.kill_worker is not None and report.recoveries == 0:
+        print("FAIL fault was injected but no recovery happened")
+        return 1
+
+    failures = []
+    if args.parity_check:
+        # The determinism oracle: the same trace through the
+        # single-process replay at the same shard count must produce
+        # identical outputs and identical cache decisions.
+        reference_outputs, reference = server.replay(trace, pool)
+        mismatched = sum(
+            1 for ours, theirs in zip(outputs, reference_outputs)
+            if not np.array_equal(ours, theirs))
+        if mismatched:
+            failures.append(f"{mismatched}/{len(trace)} outputs differ "
+                            f"from the single-process replay")
+        if abs(report.hit_rate - reference.hit_rate) > 1e-12:
+            failures.append(
+                f"hit rate {report.hit_rate:.4%} != single-process "
+                f"{reference.hit_rate:.4%}")
+        if not failures:
+            print(f"parity: outputs and hit rate "
+                  f"({report.hit_rate:.2%}) match the single-process "
+                  f"replay")
+    if args.min_hit_rate is not None \
+            and report.hit_rate < args.min_hit_rate:
+        failures.append(f"hit rate {report.hit_rate:.2%} below the "
+                        f"{args.min_hit_rate:.2%} floor")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    return 1 if failures else 0
 
 
 def serve_main(argv=None) -> int:
@@ -77,6 +148,25 @@ def serve_main(argv=None) -> int:
                         help="exit non-zero unless the replay hit rate "
                              "reaches this floor (warm-start gate)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--parallel", action="store_true",
+                        help="run the shards as real worker processes "
+                             "with supervised crash recovery")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker-process count for --parallel")
+    parser.add_argument("--kill-worker", type=int, default=None,
+                        metavar="W",
+                        help="with --parallel: inject a fault that kills "
+                             "worker W mid-replay (recovery smoke)")
+    parser.add_argument("--kill-after-batches", type=int, default=2,
+                        help="batches the faulted worker completes "
+                             "before dying")
+    parser.add_argument("--snapshot-every", type=int, default=4,
+                        help="with --parallel: worker snapshot cadence "
+                             "in batches (recovery watermark)")
+    parser.add_argument("--parity-check", action="store_true",
+                        help="with --parallel: exit non-zero unless the "
+                             "parallel replay matches the single-process "
+                             "replay's outputs and hit counters")
     parser.add_argument("--http", action="store_true",
                         help="expose the stdlib HTTP front end")
     parser.add_argument("--port", type=int, default=0,
@@ -84,19 +174,29 @@ def serve_main(argv=None) -> int:
     parser.add_argument("--serve-forever", action="store_true",
                         help="with --http: block until interrupted")
     args = parser.parse_args(argv)
+    if args.parallel and args.http:
+        parser.error("--parallel serves the replay path; it cannot be "
+                     "combined with --http")
+    if args.parallel and (args.warm_start or args.snapshot_to):
+        parser.error("--parallel manages per-worker snapshots itself; "
+                     "--warm-start/--snapshot-to apply to the "
+                     "single-process server")
 
+    shards = args.workers if args.parallel else args.shards
     point = ServingPoint(model=args.model, traffic=args.traffic,
                          cache_policy=args.cache_policy,
                          batch_size=args.batch_size,
                          num_requests=args.requests,
-                         pool_size=args.pool_size, shards=args.shards,
+                         pool_size=args.pool_size, shards=shards,
                          admission=args.admission, seed=args.seed)
     _, pool, trace, server = serving_pieces(point)
     print(f"{args.model} behind a {args.cache_policy} cache "
-          f"({args.shards} shard{'s' if args.shards != 1 else ''}, "
+          f"({shards} shard{'s' if shards != 1 else ''}, "
           f"{args.admission} admission); {args.traffic} trace "
           f"({trace_summary(trace)['distinct_payloads']} distinct "
           f"payloads)")
+    if args.parallel:
+        return _parallel_main(args, point, pool, trace, server)
     if args.warm_start:
         manifest = server.restore(args.warm_start)
         print(f"warm-started from {args.warm_start} "
@@ -130,15 +230,25 @@ def serve_main(argv=None) -> int:
           f"(POST /infer, GET /stats, GET /healthz)")
     try:
         if args.serve_forever:
+            _shutdown.clear()
             try:
-                import time
-                while True:
-                    time.sleep(1)
+                # Park on the event (poll cheaply) so a test or an
+                # embedder can stop the loop by setting it; Ctrl-C
+                # still works for interactive runs.
+                while not _shutdown.wait(timeout=0.2):
+                    pass
+                print("shutdown requested")
             except KeyboardInterrupt:
                 print("interrupted")
             return 0
-        # Drive the trace through the HTTP door as a self-test.
-        for request in trace:
+
+        # Drive the trace through the HTTP door as a self-test — with
+        # concurrent clients, so requests actually share micro-batches
+        # (serial requests would make every batch size 1 and leave the
+        # batching path untested).
+        from concurrent.futures import ThreadPoolExecutor
+
+        def post(request):
             body = json.dumps(
                 {"inputs": np.asarray(
                     pool[request.pool_index]).tolist()}).encode()
@@ -147,11 +257,18 @@ def serve_main(argv=None) -> int:
                 headers={"Content-Type": "application/json"})
             with urllib.request.urlopen(http_request, timeout=30):
                 pass
+
+        with ThreadPoolExecutor(max_workers=min(16, args.batch_size * 2)) \
+                as executor:
+            for future in [executor.submit(post, request)
+                           for request in trace]:
+                future.result()
         with urllib.request.urlopen(front.url("/stats"),
                                     timeout=10) as response:
             stats = json.load(response)
         print(f"drove {args.requests} requests over HTTP: hit rate "
-              f"{stats['hit_rate']:.2%}, p99 "
+              f"{stats['hit_rate']:.2%}, mean batch size "
+              f"{stats['mean_batch_size']:.2f}, p99 "
               f"{stats['latency_p99_ms']:.2f} ms")
         return 0
     finally:

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -93,6 +94,12 @@ class ServingReport:
     # Simulated busy-until time of the slowest shard worker in replay
     # (0.0 for wall-clock paths): the scale-out makespan.
     simulated_makespan_s: float = 0.0
+    # Wall-clock time to drain the whole replay across real worker
+    # processes (0.0 for in-process paths): the measured counterpart of
+    # ``simulated_makespan_s``.
+    measured_makespan_s: float = 0.0
+    # Worker respawns the parallel supervisor performed during the run.
+    recoveries: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -111,6 +118,8 @@ class ServingReport:
             "shards": self.shards,
             "shard_stats": self.shard_stats,
             "simulated_makespan_s": self.simulated_makespan_s,
+            "measured_makespan_s": self.measured_makespan_s,
+            "recoveries": self.recoveries,
         }
 
 
@@ -151,13 +160,13 @@ class _Shard:
             counters.merge(self.vector_engine.counters())
             occupancy += sum(self.vector_engine.occupancy().values())
         # ``requests`` counts what the router actually sent here (the
-        # sum of this shard's batch sizes), so balance is meaningful
-        # for every cache policy — including cache-less ones, where the
-        # row-level cache counters stay at zero.  ``hits``/``hit_rate``
-        # are the cache-lifetime row counters (vector granularity
-        # counts per-layer rows, not requests).
+        # exact row total across this shard's batches), so balance is
+        # meaningful for every cache policy — including cache-less
+        # ones, where the row-level cache counters stay at zero.
+        # ``hits``/``hit_rate`` are the cache-lifetime row counters
+        # (vector granularity counts per-layer rows, not requests).
         return {"shard": self.index,
-                "requests": sum(self.batcher.telemetry.batch_sizes),
+                "requests": self.batcher.telemetry.rows,
                 "hits": counters.hits, "hit_rate": counters.hit_rate,
                 "batches": self.batch_count, "occupancy": occupancy}
 
@@ -203,17 +212,28 @@ class InferenceServer:
         """The shard owning a payload (by RPQ signature, ring-placed)."""
         if self.num_shards == 1:
             return 0
+        return self._ring.route(self._signature_key(payload))
+
+    def _signature_key(self, payload) -> bytes:
+        """The ring key of one payload (per-row RPQ hashing).
+
+        Signatures are computed one payload at a time on purpose:
+        batching the projection would change BLAS reduction order and
+        could flip knife-edge quantisations, i.e. change routing.
+        """
         flat = np.asarray(payload, dtype=np.float64).reshape(1, -1)
         signatures = self._route_hasher.signatures(
             flat, self.policy.signature_bits)
-        return self._ring.route(signature_key(signatures[0]))
+        return signature_key(signatures[0])
 
     def _shards_for_trace(self, trace: list[Request],
                           pool: np.ndarray) -> np.ndarray:
         if self.num_shards == 1:
             return np.zeros(len(trace), dtype=np.int64)
-        owners = {index: self.shard_for(pool[index])
-                  for index in {request.pool_index for request in trace}}
+        unique = sorted({request.pool_index for request in trace})
+        routed = self._ring.route_many(
+            [self._signature_key(pool[index]) for index in unique])
+        owners = dict(zip(unique, (int(shard) for shard in routed)))
         return np.array([owners[request.pool_index] for request in trace],
                         dtype=np.int64)
 
@@ -286,8 +306,8 @@ class InferenceServer:
         outputs in trace order plus a wall-clock report.
         """
         start = time.perf_counter()
-        before = [len(shard.batcher.telemetry.latencies_s)
-                  for shard in self.shards]
+        marks = [shard.batcher.telemetry.latency_mark()
+                 for shard in self.shards]
 
         async def _drive():
             await self.start()
@@ -309,9 +329,10 @@ class InferenceServer:
 
         outputs = asyncio.run(_drive())
         duration = time.perf_counter() - start
-        latencies = [value
-                     for shard, seen in zip(self.shards, before)
-                     for value in shard.batcher.telemetry.latencies_s[seen:]]
+        latencies = np.concatenate(
+            [shard.batcher.telemetry.latencies_since(mark)
+             for shard, mark in zip(self.shards, marks)]) \
+            if self.shards else np.empty(0)
         return outputs, self._report(len(trace), duration, latencies)
 
     # ------------------------------------------------------------------
@@ -455,6 +476,15 @@ class InferenceServer:
         plain-array payloads of every request- and vector-granularity
         cache; :meth:`restore` on an identically configured server
         rebuilds the donor's exact cache state.  Returns the manifest.
+
+        The write is torn-proof: both files land in temp names first
+        and are committed with :func:`os.replace`, manifest last, so a
+        crash at any instant leaves either the previous complete
+        snapshot or the new one — never a manifest pointing at partial
+        arrays.  The arrays file carries a per-snapshot generation
+        suffix so that overwriting an existing snapshot can never pair
+        an old manifest with new arrays (or vice versa); stale
+        generations are cleaned up after the manifest commits.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
@@ -478,6 +508,11 @@ class InferenceServer:
                     _add("vector", shard.index, cache, layer=layer,
                          vector_length=length)
 
+        # The generation makes the arrays filename unique per snapshot
+        # of this directory, so a new manifest can never resolve to an
+        # older (or half-written) arrays file.
+        generation = sum(shard.batch_count for shard in self.shards)
+        arrays_name = f"state-{generation}.npz"
         manifest = {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
@@ -488,11 +523,24 @@ class InferenceServer:
                                     for shard in self.shards],
             "shard_batch_counts": [shard.batch_count
                                    for shard in self.shards],
+            "arrays": arrays_name,
             "caches": caches,
         }
-        np.savez(path / SNAPSHOT_ARRAYS, **arrays)
-        (path / SNAPSHOT_MANIFEST).write_text(
+        # Temp names keep the .npz suffix (np.savez appends it
+        # otherwise) but never match the committed-arrays glob below.
+        arrays_tmp = path / (".tmp-" + arrays_name)
+        manifest_tmp = path / (".tmp-" + SNAPSHOT_MANIFEST)
+        np.savez(arrays_tmp, **arrays)
+        os.replace(arrays_tmp, path / arrays_name)
+        manifest_tmp.write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        # Manifest commits last: its presence implies complete arrays.
+        os.replace(manifest_tmp, path / SNAPSHOT_MANIFEST)
+        for stale in path.glob("state*.npz"):
+            if stale.name != arrays_name:
+                stale.unlink(missing_ok=True)
+        for stale in path.glob(".tmp-*"):
+            stale.unlink(missing_ok=True)
         return manifest
 
     def restore(self, path) -> dict:
@@ -505,7 +553,13 @@ class InferenceServer:
         hit behaviour.  Returns the manifest.
         """
         path = Path(path)
-        manifest = json.loads((path / SNAPSHOT_MANIFEST).read_text())
+        manifest_path = path / SNAPSHOT_MANIFEST
+        if not manifest_path.exists():
+            # snapshot() commits the manifest last, so its absence means
+            # no complete snapshot exists here (e.g. a crash mid-write).
+            raise ValueError(f"{path} holds no complete snapshot "
+                             f"(missing {SNAPSHOT_MANIFEST})")
+        manifest = json.loads(manifest_path.read_text())
         if manifest.get("format") != SNAPSHOT_FORMAT:
             raise ValueError(f"{path} is not a serving snapshot")
         if manifest.get("version") != SNAPSHOT_VERSION:
@@ -525,7 +579,8 @@ class InferenceServer:
                              "weights; its cached outputs would be stale "
                              "— refusing to restore")
 
-        with np.load(path / SNAPSHOT_ARRAYS) as payload:
+        arrays_name = manifest.get("arrays", SNAPSHOT_ARRAYS)
+        with np.load(path / arrays_name) as payload:
             for record in manifest["caches"]:
                 shard = self.shards[record["shard"]]
                 if record["kind"] == "request":
@@ -621,7 +676,7 @@ class InferenceServer:
             shard.batcher.telemetry for shard in self.shards)
         report = self._report(telemetry.completed,
                               time.perf_counter() - self._started_at,
-                              telemetry.latencies_s)
+                              telemetry.latency_values())
         payload = report.to_dict()
         payload["queue_depth"] = sum(shard.batcher.depth
                                      for shard in self.shards)

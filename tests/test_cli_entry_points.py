@@ -11,7 +11,14 @@ from __future__ import annotations
 import ast
 import importlib
 import json
+import re
+import socket
+import threading
+import time
+import urllib.request
 from pathlib import Path
+
+import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -49,13 +56,81 @@ class TestReproServeCli:
         assert "hit rate" in out
         assert "served 30 requests" in out
 
-    def test_http_drive_mode(self, capsys):
+    def test_http_drive_mode_batches_concurrent_requests(self, capsys):
+        # The self-test drives the trace with concurrent clients, so
+        # requests actually share micro-batches — serial requests would
+        # leave the batching path untested (every batch of size 1).
         from repro.serving.cli import serve_main
-        code = serve_main(["--requests", "8", "--pool-size", "4", "--http"])
+        code = serve_main(["--requests", "24", "--pool-size", "4",
+                           "--http"])
         assert code == 0
         out = capsys.readouterr().out
         assert "HTTP front end" in out
-        assert "drove 8 requests over HTTP" in out
+        assert "drove 24 requests over HTTP" in out
+        match = re.search(r"mean batch size (\d+\.\d+)", out)
+        assert match, out
+        assert float(match.group(1)) > 1.0
+
+    def test_serve_forever_starts_and_shuts_down(self, capsys):
+        # --serve-forever parks on cli._shutdown; a test can bring the
+        # server up, talk to it, and stop it without SIGINT.
+        from repro.serving import cli
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        codes = []
+        thread = threading.Thread(target=lambda: codes.append(
+            cli.serve_main(["--http", "--serve-forever",
+                            "--port", str(port),
+                            "--requests", "4", "--pool-size", "4"])))
+        thread.start()
+        try:
+            deadline = time.monotonic() + 60
+            while True:
+                try:
+                    with urllib.request.urlopen(
+                            f"http://127.0.0.1:{port}/healthz",
+                            timeout=2) as response:
+                        assert response.status == 200
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.05)
+        finally:
+            # Keep setting the event until the loop notices: setting it
+            # in the startup window would be erased by its clear().
+            deadline = time.monotonic() + 30
+            while thread.is_alive() and time.monotonic() < deadline:
+                cli._shutdown.set()
+                thread.join(timeout=0.2)
+        assert not thread.is_alive()
+        assert codes == [0]
+        assert "shutdown requested" in capsys.readouterr().out
+
+    def test_parallel_replay_with_injected_kill(self, capsys):
+        # The CI parallel-serving smoke in miniature: real worker
+        # processes, one injected kill, recovery, and parity with the
+        # single-process replay.
+        from repro.serving.cli import serve_main
+        code = serve_main(["--parallel", "--workers", "2",
+                           "--requests", "40", "--pool-size", "8",
+                           "--kill-worker", "0",
+                           "--kill-after-batches", "1",
+                           "--snapshot-every", "2", "--parity-check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured makespan" in out
+        assert "1 recovery" in out
+        assert "parity: outputs and hit rate" in out
+
+    def test_parallel_rejects_http_and_snapshot_flags(self, capsys):
+        from repro.serving.cli import serve_main
+        with pytest.raises(SystemExit):
+            serve_main(["--parallel", "--http"])
+        with pytest.raises(SystemExit):
+            serve_main(["--parallel", "--warm-start", "somewhere"])
 
     def test_sharded_warm_start_round_trip(self, tmp_path, capsys):
         # serve → snapshot → restart → restore → the warm run must hit

@@ -47,18 +47,28 @@ def test_segment_payload_shape():
     assert segment["speedup"] == segment["before_s"] / segment["after_s"]
 
 
+def floors_payload(speedups, parallel_speedup=2.0, usable_cpus=8,
+                   workers=4):
+    """A minimal payload satisfying ``check_floors``'s contract."""
+    return {"speedups": dict(speedups),
+            "segments": {"serving_parallel": {
+                "speedup": parallel_speedup,
+                "usable_cpus": usable_cpus,
+                "workers": workers}}}
+
+
 def test_check_floors_flags_misses():
-    payload = {"speedups": {"im2col": 2.0, "baseline_memoization": 1.2,
-                            "serving_sharded": 2.0,
-                            "functional_sweep": 3.0}}
+    payload = floors_payload({"im2col": 2.0, "baseline_memoization": 1.2,
+                              "serving_sharded": 2.0,
+                              "functional_sweep": 3.0})
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
     assert check_floors(payload, floor=1.1) == []
 
 
 def test_check_floors_gates_sharded_serving():
-    payload = {"speedups": {"im2col": 2.0, "baseline_memoization": 2.0,
-                            "serving_sharded": 1.1}}
+    payload = floors_payload({"im2col": 2.0, "baseline_memoization": 2.0,
+                              "serving_sharded": 1.1})
     failures = check_floors(payload, floor=1.5, sharded_floor=1.2)
     assert len(failures) == 1 and "serving_sharded" in failures[0]
     assert check_floors(payload, floor=1.5, sharded_floor=1.05) == []
@@ -67,9 +77,50 @@ def test_check_floors_gates_sharded_serving():
 def test_check_floors_fails_on_missing_gated_segment():
     # A gated segment disappearing from the payload must not silently
     # disable the gate.
-    payload = {"speedups": {"im2col": 2.0, "serving_sharded": 2.0}}
+    payload = floors_payload({"im2col": 2.0, "serving_sharded": 2.0})
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
+    assert "missing" in failures[0]
+
+
+GOOD = {"im2col": 2.0, "baseline_memoization": 2.0, "serving_sharded": 2.0}
+
+
+def test_check_floors_gates_parallel_serving_on_multicore():
+    # 8 usable cores, 4 workers: the full parallel floor applies.
+    payload = floors_payload(GOOD, parallel_speedup=1.1, usable_cpus=8)
+    failures = check_floors(payload, floor=1.5)
+    assert len(failures) == 1 and "serving_parallel" in failures[0]
+    assert check_floors(
+        floors_payload(GOOD, parallel_speedup=1.8, usable_cpus=8),
+        floor=1.5) == []
+
+
+def test_check_floors_scales_parallel_floor_to_core_count():
+    # 2 cores cap the honest expectation at 0.6 * 2 = 1.2x, below the
+    # nominal 1.5x floor.
+    assert check_floors(
+        floors_payload(GOOD, parallel_speedup=1.3, usable_cpus=2),
+        floor=1.5) == []
+    failures = check_floors(
+        floors_payload(GOOD, parallel_speedup=1.1, usable_cpus=2),
+        floor=1.5)
+    assert len(failures) == 1 and "serving_parallel" in failures[0]
+
+
+def test_check_floors_skips_parallel_gate_on_single_core():
+    # One core cannot express process parallelism; the measurement is
+    # recorded but never gated.
+    assert check_floors(
+        floors_payload(GOOD, parallel_speedup=0.5, usable_cpus=1),
+        floor=1.5) == []
+
+
+def test_check_floors_fails_on_missing_parallel_segment():
+    payload = floors_payload(GOOD)
+    del payload["segments"]["serving_parallel"]
+    failures = check_floors(payload, floor=1.5)
+    assert len(failures) == 1 and "serving_parallel" in failures[0]
     assert "missing" in failures[0]
 
 
@@ -80,8 +131,8 @@ def test_run_suite_artifact_contract():
     assert payload["schema"] == SCHEMA
     expected = {"im2col", "rpq_projection_growth", "hitmap_multiword",
                 "train_step", "conv_group_batching", "serving_reuse",
-                "serving_sharded", "baseline_memoization",
-                "functional_sweep"}
+                "serving_sharded", "serving_parallel",
+                "baseline_memoization", "functional_sweep"}
     assert set(payload["segments"]) == expected
     assert set(payload["speedups"]) == expected
     for segment in payload["segments"].values():

@@ -443,6 +443,111 @@ class TestMicroBatcher:
         with pytest.raises(RuntimeError, match="not running"):
             asyncio.run(drive())
 
+    def test_stop_parks_instead_of_busy_polling(self, monkeypatch):
+        # Regression: stop() used to spin ``await asyncio.sleep(0)``
+        # until in-flight submissions drained, burning the event loop.
+        # It now parks on an event — a stop that has to wait makes no
+        # zero-delay sleep calls at all.
+        def process(batch):
+            return list(batch)
+
+        zero_sleeps = 0
+        real_sleep = asyncio.sleep
+
+        async def counting_sleep(delay, *args, **kwargs):
+            nonlocal zero_sleeps
+            if not delay:
+                zero_sleeps += 1
+            return await real_sleep(delay, *args, **kwargs)
+
+        async def drive():
+            batcher = MicroBatcher(process,
+                                   BatcherConfig(max_batch_size=2,
+                                                 max_wait_s=0.001,
+                                                 max_queue=2))
+            await batcher.start()
+            submissions = [asyncio.ensure_future(batcher.submit(i))
+                           for i in range(8)]
+            await real_sleep(0)  # admit them, then stop while pending
+            monkeypatch.setattr(asyncio, "sleep", counting_sleep)
+            await batcher.stop()
+            monkeypatch.setattr(asyncio, "sleep", real_sleep)
+            return await asyncio.gather(*submissions)
+
+        results = asyncio.run(asyncio.wait_for(drive(), timeout=10))
+        assert results == list(range(8))
+        assert zero_sleeps == 0
+
+
+# ----------------------------------------------------------------------
+# Bounded telemetry
+# ----------------------------------------------------------------------
+class TestTelemetryReservoir:
+    def test_memory_stays_bounded_and_counters_stay_exact(self):
+        from repro.serving.batcher import (RESERVOIR_CAPACITY,
+                                           BatcherTelemetry)
+        telemetry = BatcherTelemetry()
+        stream = 3 * RESERVOIR_CAPACITY
+        for value in range(stream):
+            telemetry.record_latency(value * 1e-4)
+            telemetry.record_batch(1 + value % 8)
+        # The sample is bounded no matter the stream length...
+        assert len(telemetry.latency_values()) == RESERVOIR_CAPACITY
+        assert len(telemetry.batch_sizes.values()) == RESERVOIR_CAPACITY
+        assert telemetry.latencies.count == stream
+        # ...while the counters (and mean batch size) remain exact.
+        assert telemetry.rows == sum(1 + v % 8 for v in range(stream))
+        assert telemetry.mean_batch_size == \
+            telemetry.rows / telemetry.batches
+
+    def test_sampled_percentiles_track_exact_values(self):
+        # Regression for the unbounded-telemetry fix: the reservoir
+        # sample must keep p50/p99 within tolerance of the exact
+        # stream percentiles long after saturation.
+        from repro.serving.batcher import (RESERVOIR_CAPACITY,
+                                           BatcherTelemetry)
+        rng = np.random.default_rng(7)
+        stream = rng.gamma(2.0, 10.0, size=50_000)
+        telemetry = BatcherTelemetry()
+        for value in stream:
+            telemetry.record_latency(value)
+        sample = telemetry.latency_values()
+        assert len(sample) == RESERVOIR_CAPACITY
+        for q in (50, 99):
+            exact = float(np.percentile(stream, q))
+            approx = float(np.percentile(sample, q))
+            assert abs(approx - exact) / exact < 0.05
+
+    def test_values_since_is_exact_before_saturation(self):
+        from repro.serving.batcher import Reservoir
+        reservoir = Reservoir(capacity=16)
+        for value in range(10):
+            reservoir.record(float(value))
+        mark = reservoir.count
+        for value in range(10, 14):
+            reservoir.record(float(value))
+        np.testing.assert_array_equal(reservoir.values_since(mark),
+                                      [10.0, 11.0, 12.0, 13.0])
+
+
+# ----------------------------------------------------------------------
+# Signature-hash routing
+# ----------------------------------------------------------------------
+class TestConsistentHashRing:
+    def test_route_many_bit_identical_to_scalar_route(self, rng):
+        from repro.serving.router import ConsistentHashRing
+        for shards in (1, 2, 5):
+            ring = ConsistentHashRing(shards)
+            keys = [rng.bytes(17) for _ in range(200)]
+            vectorized = ring.route_many(keys)
+            assert vectorized.dtype == np.int64
+            assert list(vectorized) == [ring.route(key) for key in keys]
+
+    def test_route_many_handles_empty_batches(self):
+        from repro.serving.router import ConsistentHashRing
+        routed = ConsistentHashRing(3).route_many([])
+        assert routed.size == 0 and routed.dtype == np.int64
+
 
 # ----------------------------------------------------------------------
 # Traffic generation
@@ -741,6 +846,44 @@ class TestSnapshotRestore:
             BatcherConfig(max_batch_size=8, max_wait_s=0.001), shards=2)
         with pytest.raises(ValueError, match="weights"):
             other.restore(tmp_path / "snap")
+
+    def test_torn_snapshot_write_is_never_visible(self, tmp_path,
+                                                  small_pool, zipf_trace):
+        # Regression for the torn-write fix: a crash at any instant of
+        # snapshot() must leave either the previous complete snapshot
+        # or none — never a manifest paired with partial arrays.
+        donor = self._server()
+        donor.replay(zipf_trace[:24], small_pool)
+        snap = tmp_path / "snap"
+        manifest = donor.snapshot(snap)
+
+        # Crash before any commit: only temp files land.  Temps never
+        # match the committed names, so the prior snapshot restores.
+        (snap / ".tmp-state-99.npz").write_bytes(b"partial garbage")
+        # Crash between the arrays commit and the manifest commit: the
+        # old manifest still references its own generation's arrays
+        # file, not the newer orphan.
+        (snap / "state-777.npz").write_bytes(b"\x00garbage")
+        restored = self._server()
+        assert restored.restore(snap)["arrays"] == manifest["arrays"]
+        before = restored.cache_counters()
+        restored.replay(zipf_trace[:24], small_pool)
+        after = restored.cache_counters()
+        # Every replayed request is served from the donor's cache state.
+        assert after.hits - before.hits == 24
+
+        # The next complete snapshot sweeps both kinds of leftovers.
+        donor.snapshot(snap)
+        assert not (snap / "state-777.npz").exists()
+        assert not list(snap.glob(".tmp-*"))
+
+        # No manifest at all (crash before the final commit) is an
+        # explicit error, not a half-restore.
+        torn = tmp_path / "torn"
+        torn.mkdir()
+        (torn / ".tmp-manifest.json").write_text("{}")
+        with pytest.raises(ValueError, match="no complete snapshot"):
+            self._server().restore(torn)
 
     def test_vector_cache_snapshot_roundtrip(self, tmp_path, small_pool,
                                              zipf_trace):

@@ -1,0 +1,159 @@
+"""Process-parallel serving: parity, crash recovery, supervision.
+
+These tests spawn real worker processes (multiprocessing, spawn
+context), so they use one small module-scoped model/trace and a shared
+exact-serving configuration to keep the spawn count low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.registry import build_model
+from repro.serving import (BatcherConfig, FaultInjection, InferenceServer,
+                           ParallelInferenceServer, ServingPolicy,
+                           TrafficConfig, build_request_pool, generate_trace)
+from repro.serving.parallel import FAULT_EXIT_CODE
+
+#: The determinism configuration: exact per-request compute is
+#: byte-identical to the engine-less oracle at any worker count.
+EXACT = ServingPolicy(request_cache=True, vector_cache=False,
+                      exact_check=True, compute="per_request")
+CONFIG = BatcherConfig(max_batch_size=8, max_wait_s=0.001)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("squeezenet", num_classes=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_request_pool("squeezenet", pool_size=8, image_size=12,
+                              seed=0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TrafficConfig(pattern="zipfian",
+                                        num_requests=60, seed=1), 8)
+
+
+class TestParallelParity:
+    def test_replay_matches_single_process_and_oracle(self, model, pool,
+                                                      trace):
+        single = InferenceServer(model, EXACT, CONFIG, shards=4)
+        reference_outputs, reference = single.replay(trace, pool)
+        with ParallelInferenceServer(model, EXACT, CONFIG, workers=4,
+                                     snapshot_every_batches=0) as parallel:
+            outputs, report = parallel.replay(trace, pool)
+        for ours, theirs in zip(outputs, reference_outputs):
+            np.testing.assert_array_equal(ours, theirs)
+        oracle = parallel.oracle_outputs(pool)
+        for request, output in zip(trace, outputs):
+            np.testing.assert_array_equal(output,
+                                          oracle[request.pool_index])
+        assert report.hit_rate == pytest.approx(reference.hit_rate,
+                                                abs=1e-12)
+        assert report.requests == len(trace)
+        assert report.batches == reference.batches
+        assert report.recoveries == 0
+        assert report.shards == 4
+        assert report.measured_makespan_s > 0.0
+        assert sum(row["requests"] for row in report.shard_stats) \
+            == len(trace)
+
+    def test_workers_stay_warm_across_replays(self, model, pool, trace):
+        # Workers persist between replays; the report isolates each
+        # replay via counter deltas, so the warm pass reads 100%.
+        with ParallelInferenceServer(model, EXACT, CONFIG, workers=2,
+                                     snapshot_every_batches=0) as parallel:
+            _, cold = parallel.replay(trace, pool)
+            _, warm = parallel.replay(trace, pool)
+        assert 0.0 < cold.hit_rate < 1.0
+        assert warm.hit_rate == 1.0
+
+
+class TestCrashRecovery:
+    def test_killed_worker_recovers_to_identical_results(
+            self, model, pool, trace, tmp_path):
+        single = InferenceServer(model, EXACT, CONFIG, shards=2)
+        reference_outputs, reference = single.replay(trace, pool)
+        fault = FaultInjection(worker=0, kill_after_batches=1)
+        with ParallelInferenceServer(model, EXACT, CONFIG, workers=2,
+                                     snapshot_dir=tmp_path / "snaps",
+                                     snapshot_every_batches=2,
+                                     fault=fault) as parallel:
+            outputs, report = parallel.replay(trace, pool)
+        # The worker died mid-replay, was respawned, warm-restored from
+        # its snapshot and re-ran its outstanding batches — converging
+        # to the uninterrupted run's outputs and hit counters.
+        assert report.recoveries == 1
+        for ours, theirs in zip(outputs, reference_outputs):
+            np.testing.assert_array_equal(ours, theirs)
+        assert report.hit_rate == pytest.approx(reference.hit_rate,
+                                                abs=1e-12)
+
+    def test_hung_worker_is_respawned_after_timeout(self, model, pool,
+                                                    trace, tmp_path):
+        fault = FaultInjection(worker=0, kill_after_batches=0,
+                               mode="hang")
+        with ParallelInferenceServer(model, EXACT, CONFIG, workers=2,
+                                     snapshot_dir=tmp_path / "snaps",
+                                     snapshot_every_batches=2,
+                                     worker_timeout_s=3.0,
+                                     fault=fault) as parallel:
+            outputs, report = parallel.replay(trace, pool)
+        assert report.recoveries >= 1
+        oracle = parallel.oracle_outputs(pool)
+        for request, output in zip(trace, outputs):
+            np.testing.assert_array_equal(output,
+                                          oracle[request.pool_index])
+
+    def test_gives_up_after_max_respawns(self, model, pool, trace,
+                                         tmp_path):
+        fault = FaultInjection(worker=0, kill_after_batches=0)
+        with ParallelInferenceServer(model, EXACT, CONFIG, workers=2,
+                                     snapshot_dir=tmp_path / "snaps",
+                                     snapshot_every_batches=0,
+                                     max_respawns=0,
+                                     fault=fault) as parallel:
+            with pytest.raises(RuntimeError, match="giving up"):
+                parallel.replay(trace, pool)
+
+
+class TestValidation:
+    def test_fault_injection_rejects_bad_configs(self):
+        with pytest.raises(ValueError):
+            FaultInjection(worker=-1)
+        with pytest.raises(ValueError):
+            FaultInjection(kill_after_batches=-1)
+        with pytest.raises(ValueError):
+            FaultInjection(mode="explode")
+        assert FAULT_EXIT_CODE != 0
+
+    def test_server_rejects_bad_configs(self, model, tmp_path):
+        for kwargs in ({"workers": 0}, {"snapshot_every_batches": -1},
+                       {"worker_timeout_s": 0.0}, {"max_respawns": -1}):
+            with pytest.raises(ValueError):
+                ParallelInferenceServer(model, EXACT, CONFIG,
+                                        snapshot_dir=tmp_path, **kwargs)
+
+    def test_replay_requires_started_workers(self, model, pool, trace,
+                                             tmp_path):
+        parallel = ParallelInferenceServer(model, EXACT, CONFIG,
+                                           workers=2,
+                                           snapshot_dir=tmp_path)
+        with pytest.raises(RuntimeError, match="not running"):
+            parallel.replay(trace, pool)
+        with pytest.raises(RuntimeError, match="not running"):
+            parallel.snapshot_workers()
+
+    def test_double_start_rejected(self, model, tmp_path):
+        parallel = ParallelInferenceServer(model, EXACT, CONFIG,
+                                           workers=1,
+                                           snapshot_dir=tmp_path / "s")
+        with parallel:
+            with pytest.raises(RuntimeError, match="already started"):
+                parallel.start()

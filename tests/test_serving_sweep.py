@@ -72,6 +72,26 @@ class TestServingGrid:
         with pytest.raises(ValueError, match="admission"):
             ServingPoint(admission="magic", **QUICK)
 
+    def test_parallel_workers_must_match_shards(self):
+        # A parallel point runs one worker process per hash-ring shard;
+        # any other count would change the routing layout.
+        with pytest.raises(ValueError, match="parallel_workers"):
+            ServingPoint(shards=2, parallel_workers=4, **QUICK)
+        point = ServingPoint(shards=2, parallel_workers=2, **QUICK)
+        assert point.parallel_workers == 2
+
+    def test_parallel_grid_marks_multishard_points(self):
+        points = build_serving_grid(models=("squeezenet",),
+                                    traffics=("zipfian",),
+                                    cache_policies=("request_exact",),
+                                    shard_counts=(1, 2), parallel=True,
+                                    **QUICK)
+        workers = {point.shards: point.parallel_workers
+                   for point in points}
+        # One shard has no parallelism to express; two shards become
+        # two worker processes.
+        assert workers == {1: 0, 2: 2}
+
 
 class TestEvaluateServingPoint:
     def test_row_schema_and_content(self):
@@ -115,6 +135,25 @@ class TestEvaluateServingPoint:
         assert len(left["shard_hit_rates"]) == 3
         assert sum(left["shard_requests"]) == QUICK["num_requests"]
         assert left["shard_balance"] >= 1.0
+
+    def test_parallel_point_measures_makespan_with_identical_decisions(
+            self):
+        point = ServingPoint(cache_policy="request_exact", shards=2,
+                             **QUICK)
+        parallel_point = ServingPoint(cache_policy="request_exact",
+                                      shards=2, parallel_workers=2,
+                                      **QUICK)
+        reference = evaluate_serving_point(point)
+        row = evaluate_serving_point(parallel_point)
+        assert row["parallel_workers"] == 2
+        assert row["measured_makespan_s"] > 0.0
+        assert row["recoveries"] == 0
+        assert reference["measured_makespan_s"] == 0.0
+        # Worker processes only move where each shard executes: cache
+        # decisions and exactness match the in-process replay.
+        for key in ("hit_rate", "batches", "bit_identical_fraction",
+                    "shard_requests"):
+            assert row[key] == reference[key], key
 
     def test_admission_column_lands_in_rows(self):
         row = evaluate_serving_point(
