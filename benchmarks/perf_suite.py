@@ -27,6 +27,11 @@ oracles — the dominant costs this overhaul removed:
   Zipfian trace on one backend worker vs four consistent-hash shards,
   comparing the replay's simulated per-worker makespan (the scale-out
   win an in-process replay cannot show in wall clock);
+* no-replacement serving — the tiered segment replays one *churning*
+  Zipfian trace (the hot set rotates five times) against the
+  same small cache without and with LRU replacement, comparing the
+  simulated compute-bound makespan: replacement keeps the current hot
+  set resident where the paper's no-replacement sets stay stuck;
 * GIL-bound serving — the parallel segment executes the same replay
   schedule in one process vs four real worker processes
   (:mod:`repro.serving.parallel`) and compares *measured* wall clock.
@@ -336,6 +341,55 @@ def segment_serving_sharded(quick: bool, repeats: int) -> dict:
                     traffic="zipfian")
 
 
+def segment_serving_tiered(quick: bool, repeats: int) -> dict:
+    """Cache replacement on a churning Zipfian trace: the paper's
+    no-replacement cache (stuck with whatever epoch filled each set
+    first) vs LRU eviction at identical capacity.  The hot set rotates
+    five times over the trace, so replacement keeps the current head
+    resident and fewer requests forward through the model; per-request
+    compute ties every saved hit to a full forward, and a saturating
+    arrival rate keeps the makespan compute-bound at any trace length.
+    Seeds are stream-derived exactly like the serving sweep so the
+    trace matches the sweep's churn acceptance geometry."""
+    from repro.analysis.functional_sweep import derive_seed
+    from repro.analysis.serving_sweep import (MODEL_STREAM, POOL_STREAM,
+                                              TRACE_STREAM)
+    from repro.models.registry import build_model
+    from repro.serving import (BatcherConfig, InferenceServer,
+                               ServingPolicy, TrafficConfig,
+                               build_request_pool, generate_trace)
+
+    num_requests = 160 if quick else 480
+    rotate_every = num_requests // 5
+    pool = build_request_pool("squeezenet", pool_size=48, image_size=24,
+                              seed=derive_seed(0, POOL_STREAM))
+    trace = generate_trace(TrafficConfig(pattern="zipfian",
+                                         num_requests=num_requests,
+                                         zipf_rotate_every=rotate_every,
+                                         rate_rps=200000.0,
+                                         seed=derive_seed(0, TRACE_STREAM)),
+                           len(pool))
+
+    def makespan(eviction: str) -> float:
+        model = build_model("squeezenet", num_classes=4,
+                            seed=derive_seed(0, MODEL_STREAM))
+        policy = ServingPolicy(request_cache=True, vector_cache=False,
+                               exact_check=True, compute="per_request",
+                               entries=8, ways=8, eviction=eviction)
+        server = InferenceServer(model, policy,
+                                 BatcherConfig(max_batch_size=8,
+                                               max_wait_s=0.001))
+        _, report = server.replay(trace, pool)
+        return report.simulated_makespan_s
+
+    before = min(makespan("none") for _ in range(max(repeats, 1)))
+    after = min(makespan("lru") for _ in range(max(repeats, 1)))
+    return _segment(before, after, num_requests=num_requests,
+                    pool_size=len(pool), entries=8, ways=8,
+                    eviction="lru", traffic="zipfian",
+                    zipf_rotate_every=rotate_every)
+
+
 def usable_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
     try:
@@ -419,6 +473,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "conv_group_batching": segment_conv_group_batching(quick, repeats),
         "serving_reuse": segment_serving_reuse(quick, repeats),
         "serving_sharded": segment_serving_sharded(quick, repeats),
+        "serving_tiered": segment_serving_tiered(quick, repeats),
         "serving_parallel": segment_serving_parallel(quick, repeats),
         "baseline_memoization": segment_baseline_memoization(points),
         "functional_sweep": segment_functional_sweep(points),
@@ -437,19 +492,24 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
 
 def check_floors(payload: dict, floor: float,
                  sharded_floor: float = 1.2,
+                 tiered_floor: float = 1.05,
                  parallel_floor: float = 1.5) -> list[str]:
     """The CI gate: im2col and baseline memoization must hold ``floor``;
     the 4-shard serving makespan must beat the single worker by
     ``sharded_floor`` (consistent-hash balance caps it below the ideal
-    4x, so its floor is separate and conservative); the measured
-    process-parallel makespan must beat the single process by
-    ``parallel_floor`` — scaled down to ``0.6 x usable cores`` on hosts
-    with fewer cores than workers, and not gated at all on single-core
-    hosts (one core cannot express process parallelism; the segment
-    still records the measurement)."""
+    4x, so its floor is separate and conservative); LRU replacement on
+    the churning trace must beat the no-replacement cache by
+    ``tiered_floor`` (the win is a hit-rate delta, typically ~1.1x, so
+    its floor only asserts the direction with margin for timer noise);
+    the measured process-parallel makespan must beat the single process
+    by ``parallel_floor`` — scaled down to ``0.6 x usable cores`` on
+    hosts with fewer cores than workers, and not gated at all on
+    single-core hosts (one core cannot express process parallelism; the
+    segment still records the measurement)."""
     failures = []
     floors = {"im2col": floor, "baseline_memoization": floor,
-              "serving_sharded": sharded_floor}
+              "serving_sharded": sharded_floor,
+              "serving_tiered": tiered_floor}
     for name, required in floors.items():
         speedup = payload["speedups"].get(name)
         if speedup is None:
@@ -502,6 +562,10 @@ def main(argv=None) -> int:
     parser.add_argument("--sharded-floor", type=float, default=1.2,
                         help="minimum 4-shard serving makespan speedup "
                              "for --check (default 1.2)")
+    parser.add_argument("--tiered-floor", type=float, default=1.05,
+                        help="minimum LRU-vs-no-replacement makespan "
+                             "speedup on the churning trace for "
+                             "--check (default 1.05)")
     parser.add_argument("--parallel-floor", type=float, default=1.5,
                         help="minimum process-parallel serving speedup "
                              "for --check on hosts with >= 2 usable "
@@ -520,6 +584,7 @@ def main(argv=None) -> int:
     if args.check:
         failures = check_floors(payload, args.floor,
                                 sharded_floor=args.sharded_floor,
+                                tiered_floor=args.tiered_floor,
                                 parallel_floor=args.parallel_floor)
         if failures:
             for failure in failures:

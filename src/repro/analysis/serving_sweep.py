@@ -4,8 +4,9 @@ The third sweep family, next to the cycle-model sweep
 (:mod:`repro.analysis.sweep`) and the training-accuracy sweep
 (:mod:`repro.analysis.functional_sweep`): each :class:`ServingPoint`
 names a model, a traffic pattern from the load generator, a cache
-configuration, a micro-batch size, a worker-shard count and an
-admission policy; evaluating it replays the deterministic trace
+configuration, a micro-batch size, a worker-shard count, an admission
+policy and the tiering axes (replacement policy, hot-key replication
+top-k, shared-L2 tier); evaluating it replays the deterministic trace
 through a (possibly sharded)
 :class:`~repro.serving.server.InferenceServer` and records
 
@@ -33,6 +34,7 @@ import numpy as np
 
 from repro.analysis.functional_sweep import derive_seed
 from repro.analysis.grid import GridResults, expand_grid, point_row, run_grid
+from repro.core.eviction import EVICTION_POLICIES
 from repro.core.session import ADMISSION_POLICIES
 from repro.models.registry import MODEL_NAMES, build_model, get_spec
 from repro.serving.batcher import BatcherConfig
@@ -41,6 +43,7 @@ from repro.serving.loadgen import (TRAFFIC_PATTERNS, TrafficConfig,
                                    build_request_pool, generate_trace,
                                    trace_summary)
 from repro.serving.server import InferenceServer
+from repro.serving.tiering import SharedL2Cache
 
 # Cache-policy presets — the sweep's policy axis.  "exact" modes verify
 # payload equality before reuse; "trust" reuses on signature match
@@ -69,6 +72,8 @@ SERVING_RESULT_KEYS = frozenset({
     "batches", "mean_batch_size",
     "shards", "admission", "shard_balance", "simulated_makespan_s",
     "parallel_workers", "measured_makespan_s",
+    "eviction", "replicate_top", "l2", "l2_hit_rate", "evicted",
+    "replicated", "rotate_every",
     "distinct_payloads", "top_key_share",
     "bit_identical_fraction", "max_abs_deviation",
     "compute_time_s", "elapsed_s",
@@ -96,6 +101,18 @@ class ServingPoint:
     max_wait_ms: float = 1.0
     shards: int = 1
     admission: str = "always"
+    # Replacement policy of the persistent caches ("none" = the paper's
+    # no-replacement MNU behaviour).
+    eviction: str = "none"
+    # Hot-key replication: replicate the top-k hottest signatures'
+    # cached rows across shards (0 = off; needs a request cache).
+    replicate_top: int = 0
+    # Back the per-shard L1 request caches with a shared in-memory L2
+    # (adds the ``l2_hit_rate`` column).
+    l2: bool = False
+    # Zipfian hot-set churn period (0 = stationary); see
+    # :class:`~repro.serving.loadgen.TrafficConfig.zipf_rotate_every`.
+    rotate_every: int = 0
     # 0 = in-process replay (simulated makespan); == shards = run the
     # shards as real worker processes and measure the wall-clock
     # makespan (the ``measured_makespan_s`` column).
@@ -119,10 +136,25 @@ class ServingPoint:
         if self.admission not in ADMISSION_POLICIES:
             raise ValueError(f"unknown admission {self.admission!r}; "
                              f"choose from {ADMISSION_POLICIES}")
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction {self.eviction!r}; "
+                             f"choose from {EVICTION_POLICIES}")
+        if self.replicate_top < 0:
+            raise ValueError("replicate_top must be >= 0")
+        if self.rotate_every < 0:
+            raise ValueError("rotate_every must be >= 0")
         if self.parallel_workers not in (0, self.shards):
             raise ValueError(
                 "parallel_workers must be 0 (in-process replay) or equal "
                 "to shards (each shard becomes one worker process)")
+        if self.parallel_workers and (self.replicate_top or self.l2):
+            raise ValueError(
+                "replicate_top and l2 need shards that share memory; "
+                "they cannot combine with parallel_workers")
+        if (self.replicate_top or self.l2) \
+                and not CACHE_POLICIES[self.cache_policy]["request_cache"]:
+            raise ValueError("replicate_top and l2 act on the request "
+                             "cache; pick a request-caching policy")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
 
@@ -132,24 +164,39 @@ def build_serving_grid(models=("squeezenet",),
                        cache_policies=("none", "request_exact",
                                        "vector_trust"),
                        batch_sizes=(8,), shard_counts=(1,),
-                       admissions=("always",), seeds=(0,),
-                       parallel=False, **fixed) -> list[ServingPoint]:
+                       admissions=("always",), evictions=("none",),
+                       replicate_tops=(0,), l2_modes=(False,),
+                       seeds=(0,), parallel=False,
+                       **fixed) -> list[ServingPoint]:
     """Cross product of the serving scenario axes.
 
     With ``parallel`` every multi-shard point also runs its shards as
     real worker processes (``parallel_workers == shards``), adding the
-    measured-makespan column next to the simulated one.
+    measured-makespan column next to the simulated one.  Tiering axes
+    (eviction / replication / L2) that need a request cache are skipped
+    for presets without one instead of raising, so mixed grids stay
+    expressible.
     """
     combos = expand_grid({"model": models, "traffic": traffics,
                           "cache_policy": cache_policies,
                           "batch_size": batch_sizes,
                           "shards": shard_counts,
-                          "admission": admissions, "seed": seeds})
-    return [ServingPoint(**combo,
-                         parallel_workers=combo["shards"]
-                         if parallel and combo["shards"] > 1 else 0,
-                         **fixed)
-            for combo in combos]
+                          "admission": admissions,
+                          "eviction": evictions,
+                          "replicate_top": replicate_tops,
+                          "l2": l2_modes, "seed": seeds})
+    points = []
+    for combo in combos:
+        tiered = combo["replicate_top"] or combo["l2"]
+        if tiered and not \
+                CACHE_POLICIES[combo["cache_policy"]]["request_cache"]:
+            continue
+        points.append(ServingPoint(
+            **combo,
+            parallel_workers=combo["shards"]
+            if parallel and combo["shards"] > 1 and not tiered else 0,
+            **fixed))
+    return points
 
 
 def policy_for(point: ServingPoint) -> ServingPolicy:
@@ -157,17 +204,25 @@ def policy_for(point: ServingPoint) -> ServingPolicy:
                          ttl_batches=point.ttl_batches,
                          signature_bits=point.signature_bits,
                          admission=point.admission,
+                         eviction=point.eviction,
+                         replicate_top=point.replicate_top,
                          **CACHE_POLICIES[point.cache_policy])
 
 
-def serving_pieces(point: ServingPoint):
-    """(model, pool, trace, server) for one point, fully seed-derived."""
+def serving_pieces(point: ServingPoint, l2_store: SharedL2Cache | None = None):
+    """(model, pool, trace, server) for one point, fully seed-derived.
+
+    ``l2_store`` substitutes a caller-built L2 (e.g. a disk-backed one
+    from ``repro-serve --l2 DIR``) for the in-memory tier the ``l2``
+    axis would otherwise create.
+    """
     pool = build_request_pool(point.model, pool_size=point.pool_size,
                               image_size=point.image_size,
                               seed=derive_seed(point.seed, POOL_STREAM))
     trace = generate_trace(
         TrafficConfig(pattern=point.traffic,
                       num_requests=point.num_requests,
+                      zipf_rotate_every=point.rotate_every,
                       seed=derive_seed(point.seed, TRACE_STREAM)),
         len(pool))
     spec = get_spec(point.model)
@@ -178,7 +233,9 @@ def serving_pieces(point: ServingPoint):
         model, policy_for(point),
         BatcherConfig(max_batch_size=point.batch_size,
                       max_wait_s=point.max_wait_ms / 1e3),
-        shards=point.shards)
+        shards=point.shards,
+        l2=l2_store if l2_store is not None
+        else (SharedL2Cache() if point.l2 else None))
     return model, pool, trace, server
 
 
@@ -258,6 +315,11 @@ def evaluate_serving_point(point: ServingPoint) -> dict:
         "simulated_makespan_s": float(report.simulated_makespan_s),
         "measured_makespan_s": float(report.measured_makespan_s),
         "recoveries": int(report.recoveries),
+        # Tiering columns: replacement-policy evictions, cross-shard
+        # replica pushes, and the shared-L2 hit rate (0.0 without L2).
+        "evicted": int(report.request_cache.get("evicted", 0)),
+        "replicated": int(report.request_cache.get("replicated", 0)),
+        "l2_hit_rate": float(report.l2.get("hit_rate", 0.0)),
     }, started=start)
     return row
 
@@ -315,6 +377,23 @@ def main(argv=None) -> int:
     parser.add_argument("--admissions", nargs="+", default=["always"],
                         choices=list(ADMISSION_POLICIES), metavar="POLICY",
                         help="cache admission policies to sweep")
+    parser.add_argument("--evictions", nargs="+", default=["none"],
+                        choices=list(EVICTION_POLICIES), metavar="POLICY",
+                        help="cache replacement policies to sweep")
+    parser.add_argument("--replicate-tops", nargs="+", type=int,
+                        default=[0], metavar="K",
+                        help="hot-key replication top-k values to sweep "
+                             "(0 = off)")
+    parser.add_argument("--l2", action="store_true",
+                        help="also sweep request-cache points with a "
+                             "shared L2 tier")
+    parser.add_argument("--entries", type=int, default=4096,
+                        help="cache entries per shard")
+    parser.add_argument("--ways", type=int, default=16,
+                        help="cache set associativity")
+    parser.add_argument("--rotate-every", type=int, default=0,
+                        help="zipfian hot-set churn period in requests "
+                             "(0 = stationary popularity)")
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--pool-size", type=int, default=24)
     parser.add_argument("--seeds", nargs="+", type=int, default=[0])
@@ -332,10 +411,16 @@ def main(argv=None) -> int:
                                 batch_sizes=args.batch_sizes,
                                 shard_counts=args.shards,
                                 admissions=args.admissions,
+                                evictions=args.evictions,
+                                replicate_tops=args.replicate_tops,
+                                l2_modes=(False, True) if args.l2
+                                else (False,),
                                 seeds=args.seeds,
                                 parallel=args.parallel,
                                 num_requests=args.requests,
-                                pool_size=args.pool_size)
+                                pool_size=args.pool_size,
+                                entries=args.entries, ways=args.ways,
+                                rotate_every=args.rotate_every)
     print(f"serving sweep: {len(points)} points")
     processes = args.processes
     if any(point.parallel_workers for point in points):

@@ -1,0 +1,459 @@
+"""Replacement policies for persistent reuse sessions.
+
+The paper's MCACHE has **no replacement**: a signature whose set is full
+is computed every time (MNU).  That is the right model for training —
+batches are single-use and the cache is flash-cleared per layer — but a
+long-running serving cache under skewed traffic needs real eviction, or
+cold keys squat on their lines forever.  This module provides the three
+replacement policies the serving stack exposes through the
+``SessionPolicy.eviction`` axis:
+
+* ``lru`` — evict the least-recently-*probed* line of the full set;
+* ``lfu`` — evict the lowest-frequency line (frequency counts the rows
+  that probed the line since it claimed its way); ties break
+  deterministically toward the least recently probed line;
+* ``slru`` — segmented LRU: fresh inserts enter a *probation* segment,
+  a probation hit promotes the line to a *protected* segment (bounded
+  at ``ways // 2`` lines per set; overflow demotes the protected LRU
+  line back to probation), and victims come from probation first.
+  One-hit wonders therefore cannot displace proven-hot lines.
+
+Two implementations per policy, same API:
+
+* the **fast** structures (:class:`LRUEviction`, :class:`LFUEviction`,
+  :class:`SLRUEviction`) keep per-set intrusive doubly-linked recency
+  lists as dense ``(set, way)`` arrays — O(1) touch/insert/replace and
+  O(ways) victim selection, no per-line Python objects — matching the
+  dense-array design of :class:`~repro.core.mcache_vec.VectorizedMCache`;
+* the **reference** implementations (:class:`ReferenceLRU`,
+  :class:`ReferenceLFU`, :class:`ReferenceSLRU`) model each set as a
+  plain Python list ordered LRU→MRU.  They are the differential oracle:
+  ``tests/test_eviction_properties.py`` replays randomized traces
+  through both and asserts identical victims and identical serialized
+  state.
+
+All state serializes to plain integer arrays (recency ranks, segment
+membership, frequencies) in canonical ``(set, way)`` layout, so a
+snapshot→restore round trip is byte-identical and restored sessions
+evict exactly as the donor would have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The ``SessionPolicy.eviction`` axis.  ``none`` is the paper's
+#: no-replacement semantics (the default, bit-identical to the
+#: pre-eviction code path).
+EVICTION_POLICIES = ("none", "lru", "lfu", "slru")
+
+
+# ----------------------------------------------------------------------
+# Fast structures: intrusive per-set recency lists over dense arrays
+# ----------------------------------------------------------------------
+class _IntrusiveList:
+    """Per-set doubly-linked recency lists over the ``(set, way)`` grid.
+
+    Head is the most recently used way of a set, tail the least.  Every
+    operation is O(1); ranks (position from head) are only materialised
+    for snapshots.
+    """
+
+    def __init__(self, num_sets: int, ways: int):
+        self.num_sets = num_sets
+        self.ways = ways
+        self._prev = np.full((num_sets, ways), -1, dtype=np.int64)
+        self._next = np.full((num_sets, ways), -1, dtype=np.int64)
+        self._head = np.full(num_sets, -1, dtype=np.int64)
+        self._tail = np.full(num_sets, -1, dtype=np.int64)
+        self._linked = np.zeros((num_sets, ways), dtype=bool)
+        self.count = np.zeros(num_sets, dtype=np.int64)
+
+    def contains(self, s: int, w: int) -> bool:
+        return bool(self._linked[s, w])
+
+    def push_front(self, s: int, w: int) -> None:
+        head = self._head[s]
+        self._prev[s, w] = -1
+        self._next[s, w] = head
+        if head >= 0:
+            self._prev[s, head] = w
+        else:
+            self._tail[s] = w
+        self._head[s] = w
+        self._linked[s, w] = True
+        self.count[s] += 1
+
+    def unlink(self, s: int, w: int) -> None:
+        before, after = self._prev[s, w], self._next[s, w]
+        if before >= 0:
+            self._next[s, before] = after
+        else:
+            self._head[s] = after
+        if after >= 0:
+            self._prev[s, after] = before
+        else:
+            self._tail[s] = before
+        self._prev[s, w] = -1
+        self._next[s, w] = -1
+        self._linked[s, w] = False
+        self.count[s] -= 1
+
+    def move_front(self, s: int, w: int) -> None:
+        if self._head[s] == w:
+            return
+        self.unlink(s, w)
+        self.push_front(s, w)
+
+    def tail_way(self, s: int) -> int:
+        return int(self._tail[s])
+
+    def walk_from_tail(self, s: int):
+        w = self._tail[s]
+        while w >= 0:
+            yield int(w)
+            w = self._prev[s, w]
+
+    def ranks(self) -> np.ndarray:
+        """Position from head (MRU = 0) per linked way; -1 if unlinked."""
+        out = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        for s in range(self.num_sets):
+            w, rank = self._head[s], 0
+            while w >= 0:
+                out[s, w] = rank
+                rank += 1
+                w = self._next[s, w]
+        return out
+
+    def load_ranks(self, ranks: np.ndarray) -> None:
+        """Rebuild the lists from a :meth:`ranks` array."""
+        self.__init__(self.num_sets, self.ways)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        for s in range(self.num_sets):
+            linked = np.flatnonzero(ranks[s] >= 0)
+            # Push in descending rank order so rank 0 ends up at head.
+            for w in linked[np.argsort(-ranks[s][linked], kind="stable")]:
+                self.push_front(s, int(w))
+
+
+class LRUEviction:
+    """O(1) intrusive least-recently-probed replacement."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, ways: int):
+        self._list = _IntrusiveList(num_sets, ways)
+
+    def insert(self, s: int, w: int, count: int = 1) -> None:
+        self._list.push_front(s, w)
+
+    def touch(self, s: int, w: int, count: int = 1) -> None:
+        self._list.move_front(s, w)
+
+    def replace(self, s: int, w: int, count: int = 1) -> None:
+        # The victim's way now holds a fresh line: treat as a new MRU.
+        self._list.move_front(s, w)
+
+    def victim(self, s: int) -> int:
+        return self._list.tail_way(s)
+
+    def state_arrays(self) -> dict:
+        return {"ev_rank": self._list.ranks()}
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        self._list.load_ranks(arrays["ev_rank"])
+
+    def clear(self) -> None:
+        self._list = _IntrusiveList(self._list.num_sets, self._list.ways)
+
+
+class LFUEviction:
+    """Lowest-frequency replacement with least-recent tiebreak.
+
+    Frequency counts probed *rows* (a batch with five rows of one
+    signature adds five), so it tracks demand, not batch count.  Ties
+    break toward the least recently probed line — walking the recency
+    list tail→head and keeping the first strictly-smaller frequency
+    makes the choice deterministic for any trace.
+    """
+
+    name = "lfu"
+
+    def __init__(self, num_sets: int, ways: int):
+        self._list = _IntrusiveList(num_sets, ways)
+        self._freq = np.zeros((num_sets, ways), dtype=np.int64)
+
+    def insert(self, s: int, w: int, count: int = 1) -> None:
+        self._freq[s, w] = count
+        self._list.push_front(s, w)
+
+    def touch(self, s: int, w: int, count: int = 1) -> None:
+        self._freq[s, w] += count
+        self._list.move_front(s, w)
+
+    def replace(self, s: int, w: int, count: int = 1) -> None:
+        self._freq[s, w] = count
+        self._list.move_front(s, w)
+
+    def victim(self, s: int) -> int:
+        best_way, best = -1, None
+        for w in self._list.walk_from_tail(s):
+            if best is None or self._freq[s, w] < best:
+                best_way, best = w, int(self._freq[s, w])
+        return best_way
+
+    def state_arrays(self) -> dict:
+        return {"ev_rank": self._list.ranks(), "ev_freq": self._freq.copy()}
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        self._list.load_ranks(arrays["ev_rank"])
+        self._freq = np.asarray(arrays["ev_freq"], dtype=np.int64).copy()
+
+    def clear(self) -> None:
+        num_sets, ways = self._freq.shape
+        self.__init__(num_sets, ways)
+
+
+class SLRUEviction:
+    """Segmented LRU: probation + protected segments per set.
+
+    Protected capacity is ``ways // 2`` lines per set (0 for
+    direct-mapped sets, which degenerates to plain LRU).  Promotion is
+    monotone: a line's own probe never moves it from protected back to
+    probation — demotion only happens to the protected LRU line when a
+    *different* line's promotion overflows the segment.
+    """
+
+    name = "slru"
+
+    def __init__(self, num_sets: int, ways: int):
+        self.protected_capacity = ways // 2
+        self._probation = _IntrusiveList(num_sets, ways)
+        self._protected = _IntrusiveList(num_sets, ways)
+        # 0 = probation, 1 = protected; meaningful for linked ways only.
+        self._segment = np.zeros((num_sets, ways), dtype=np.int8)
+
+    def insert(self, s: int, w: int, count: int = 1) -> None:
+        self._segment[s, w] = 0
+        self._probation.push_front(s, w)
+
+    def touch(self, s: int, w: int, count: int = 1) -> None:
+        if self._segment[s, w] == 1:
+            self._protected.move_front(s, w)
+            return
+        if self.protected_capacity == 0:
+            self._probation.move_front(s, w)
+            return
+        self._probation.unlink(s, w)
+        self._protected.push_front(s, w)
+        self._segment[s, w] = 1
+        if self._protected.count[s] > self.protected_capacity:
+            demoted = self._protected.tail_way(s)
+            self._protected.unlink(s, demoted)
+            self._probation.push_front(s, demoted)
+            self._segment[s, demoted] = 0
+
+    def replace(self, s: int, w: int, count: int = 1) -> None:
+        if self._segment[s, w] == 1:
+            self._protected.unlink(s, w)
+        else:
+            self._probation.unlink(s, w)
+        self.insert(s, w, count)
+
+    def victim(self, s: int) -> int:
+        w = self._probation.tail_way(s)
+        return w if w >= 0 else self._protected.tail_way(s)
+
+    def state_arrays(self) -> dict:
+        # Rank is within the way's own segment list; segment says which.
+        rank = self._probation.ranks()
+        protected_rank = self._protected.ranks()
+        merged = np.where(protected_rank >= 0, protected_rank, rank)
+        return {"ev_rank": merged, "ev_segment": self._segment.copy()}
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        segment = np.asarray(arrays["ev_segment"], dtype=np.int8)
+        rank = np.asarray(arrays["ev_rank"], dtype=np.int64)
+        self._probation.load_ranks(np.where(segment == 0, rank, -1))
+        self._protected.load_ranks(np.where(segment == 1, rank, -1))
+        self._segment = segment.copy()
+
+    def clear(self) -> None:
+        self.__init__(self._probation.num_sets, self._probation.ways)
+
+
+# ----------------------------------------------------------------------
+# Reference implementations — the differential oracle
+# ----------------------------------------------------------------------
+class ReferenceLRU:
+    """Each set is a plain list of ways, LRU first / MRU last."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, ways: int):
+        self.num_sets, self.ways = num_sets, ways
+        self._order: list[list[int]] = [[] for _ in range(num_sets)]
+
+    def _to_front(self, s: int, w: int) -> None:
+        if w in self._order[s]:
+            self._order[s].remove(w)
+        self._order[s].append(w)
+
+    def insert(self, s: int, w: int, count: int = 1) -> None:
+        self._to_front(s, w)
+
+    touch = insert
+    replace = insert
+
+    def victim(self, s: int) -> int:
+        return self._order[s][0] if self._order[s] else -1
+
+    def state_arrays(self) -> dict:
+        rank = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        for s, order in enumerate(self._order):
+            for position, w in enumerate(reversed(order)):
+                rank[s, w] = position
+        return {"ev_rank": rank}
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        rank = np.asarray(arrays["ev_rank"], dtype=np.int64)
+        self._order = [[] for _ in range(self.num_sets)]
+        for s in range(self.num_sets):
+            linked = np.flatnonzero(rank[s] >= 0)
+            ordered = linked[np.argsort(rank[s][linked], kind="stable")]
+            self._order[s] = [int(w) for w in reversed(ordered)]
+
+    def clear(self) -> None:
+        self._order = [[] for _ in range(self.num_sets)]
+
+
+class ReferenceLFU(ReferenceLRU):
+    """Frequency counters over the reference recency lists."""
+
+    name = "lfu"
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._freq = np.zeros((num_sets, ways), dtype=np.int64)
+
+    def insert(self, s: int, w: int, count: int = 1) -> None:
+        self._freq[s, w] = count
+        self._to_front(s, w)
+
+    def touch(self, s: int, w: int, count: int = 1) -> None:
+        self._freq[s, w] += count
+        self._to_front(s, w)
+
+    replace = insert
+
+    def victim(self, s: int) -> int:
+        best_way, best = -1, None
+        for w in self._order[s]:  # LRU first: earliest wins ties
+            if best is None or self._freq[s, w] < best:
+                best_way, best = w, int(self._freq[s, w])
+        return best_way
+
+    def state_arrays(self) -> dict:
+        arrays = super().state_arrays()
+        arrays["ev_freq"] = self._freq.copy()
+        return arrays
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        super().load_state_arrays(arrays)
+        self._freq = np.asarray(arrays["ev_freq"], dtype=np.int64).copy()
+
+    def clear(self) -> None:
+        super().clear()
+        self._freq[:] = 0
+
+
+class ReferenceSLRU:
+    """Probation/protected segments as plain lists, LRU first."""
+
+    name = "slru"
+
+    def __init__(self, num_sets: int, ways: int):
+        self.num_sets, self.ways = num_sets, ways
+        self.protected_capacity = ways // 2
+        self._probation: list[list[int]] = [[] for _ in range(num_sets)]
+        self._protected: list[list[int]] = [[] for _ in range(num_sets)]
+
+    def insert(self, s: int, w: int, count: int = 1) -> None:
+        self._probation[s].append(w)
+
+    def touch(self, s: int, w: int, count: int = 1) -> None:
+        if w in self._protected[s]:
+            self._protected[s].remove(w)
+            self._protected[s].append(w)
+            return
+        if self.protected_capacity == 0:
+            self._probation[s].remove(w)
+            self._probation[s].append(w)
+            return
+        self._probation[s].remove(w)
+        self._protected[s].append(w)
+        if len(self._protected[s]) > self.protected_capacity:
+            self._probation[s].append(self._protected[s].pop(0))
+
+    def replace(self, s: int, w: int, count: int = 1) -> None:
+        if w in self._protected[s]:
+            self._protected[s].remove(w)
+        if w in self._probation[s]:
+            self._probation[s].remove(w)
+        self._probation[s].append(w)
+
+    def victim(self, s: int) -> int:
+        if self._probation[s]:
+            return self._probation[s][0]
+        return self._protected[s][0] if self._protected[s] else -1
+
+    def segment_of(self, s: int, w: int) -> int:
+        return 1 if w in self._protected[s] else 0
+
+    def state_arrays(self) -> dict:
+        rank = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        segment = np.zeros((self.num_sets, self.ways), dtype=np.int8)
+        for s in range(self.num_sets):
+            for position, w in enumerate(reversed(self._probation[s])):
+                rank[s, w] = position
+            for position, w in enumerate(reversed(self._protected[s])):
+                rank[s, w] = position
+                segment[s, w] = 1
+        return {"ev_rank": rank, "ev_segment": segment}
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        rank = np.asarray(arrays["ev_rank"], dtype=np.int64)
+        segment = np.asarray(arrays["ev_segment"], dtype=np.int8)
+        self._probation = [[] for _ in range(self.num_sets)]
+        self._protected = [[] for _ in range(self.num_sets)]
+        for s in range(self.num_sets):
+            for target, member in ((self._probation, 0),
+                                   (self._protected, 1)):
+                linked = np.flatnonzero((rank[s] >= 0)
+                                        & (segment[s] == member))
+                ordered = linked[np.argsort(rank[s][linked], kind="stable")]
+                target[s] = [int(w) for w in reversed(ordered)]
+
+    def clear(self) -> None:
+        self.__init__(self.num_sets, self.ways)
+
+
+_FAST = {"lru": LRUEviction, "lfu": LFUEviction, "slru": SLRUEviction}
+_REFERENCE = {"lru": ReferenceLRU, "lfu": ReferenceLFU,
+              "slru": ReferenceSLRU}
+
+
+def build_eviction_state(policy: str, num_sets: int, ways: int,
+                         reference: bool = False):
+    """The replacement-state object for one eviction policy.
+
+    ``None`` for ``"none"`` (the paper's no-replacement semantics);
+    ``reference=True`` returns the differential-oracle implementation.
+    """
+    if policy == "none":
+        return None
+    if policy not in _FAST:
+        raise ValueError(f"unknown eviction policy {policy!r}; "
+                         f"choose from {EVICTION_POLICIES}")
+    table = _REFERENCE if reference else _FAST
+    return table[policy](num_sets, ways)

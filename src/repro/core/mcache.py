@@ -50,6 +50,9 @@ class MCacheStats:
     mnu: int = 0
     data_reads: int = 0
     data_writes: int = 0
+    # Lines recycled by a replacement policy (persistent serving
+    # sessions only; the paper's no-replacement model never evicts).
+    evictions: int = 0
 
     @property
     def accesses(self) -> int:

@@ -361,6 +361,40 @@ class VectorizedMCache:
         present, entry_ids = self.probe_batch([signature])
         return bool(present[0]), int(entry_ids[0])
 
+    def replace_line(self, set_index: int, way: int, signature) -> int:
+        """Evict the resident of ``(set, way)`` and hand its line to
+        ``signature``; returns the new owner's entry id.
+
+        The replacement-policy hook: the victim's tag is overwritten,
+        its data slots are invalidated (stale rows must not survive the
+        new owner), and a fresh dense entry id is appended — the
+        victim's id is orphaned, which is behaviourally invisible
+        because probes resolve ids through ``_line_entry``.  Occupancy
+        is unchanged, so the valid-way prefix invariant that the batch
+        insert relies on still holds.
+        """
+        if not 0 <= set_index < self.num_sets or not 0 <= way < self.ways:
+            raise IndexError(f"({set_index}, {way}) outside the "
+                             f"({self.num_sets}, {self.ways}) grid")
+        if not self._valid_tag[set_index, way]:
+            raise ValueError(f"({set_index}, {way}) holds no line to "
+                             f"replace")
+        sigs = self._normalize(np.asarray(signature)[None])
+        if int(signature_sets(sigs, self.num_sets)[0]) != set_index:
+            raise ValueError("signature does not map to the victim's set")
+        self._store_tags(sigs, np.array([0]),
+                         np.array([set_index]), np.array([way]))
+        new_id = self._next_entry_id
+        self._line_entry[set_index, way] = new_id
+        self._valid_data[set_index, way, :] = False
+        self._data[set_index, way, :] = None
+        self._entry_set = np.append(self._entry_set, set_index)
+        self._entry_way = np.append(self._entry_way, way)
+        self._next_entry_id += 1
+        self.stats.evictions += 1
+        self._dirty = True
+        return new_id
+
     # ------------------------------------------------------------------
     # Hitmap simulation (fresh cache, one batch — the reuse-engine path)
     # ------------------------------------------------------------------

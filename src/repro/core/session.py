@@ -50,9 +50,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.differential import scalar_reference_simulation
+from repro.core.eviction import EVICTION_POLICIES, build_eviction_state
 from repro.core.hitmap import HitState
-from repro.core.hitmap_sim import (HitmapSimulation, simulate_hitmap,
-                                   simulate_hitmap_grouped)
+from repro.core.hitmap_sim import (HitmapSimulation, signature_sets,
+                                   simulate_hitmap, simulate_hitmap_grouped)
 from repro.core.mcache_vec import VectorizedMCache
 from repro.core.rpq import RPQHasher, unique_signatures
 
@@ -60,7 +61,8 @@ ADMISSION_POLICIES = ("always", "frequency", "size")
 
 #: Version of the :meth:`ReuseSession.state_dict` layout.  Bump when the
 #: array/meta contract changes; ``load_state_dict`` rejects mismatches.
-STATE_VERSION = 1
+#: Version 2 added the ``layout`` key and the eviction metadata arrays.
+STATE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,12 @@ class SessionPolicy:
     intra-batch dedup keeps working.  ``None`` means entries never
     expire.  ``admission`` selects how computed signatures earn a cache
     line (see the module docstring).
+
+    ``eviction`` selects the replacement policy for persistent
+    sessions: ``none`` keeps the paper's no-replacement semantics
+    (full set = MNU, computed every time), while ``lru``/``lfu``/
+    ``slru`` recycle a victim line instead of rejecting — see
+    :mod:`repro.core.eviction`.
     """
 
     # Signature / capacity knobs.
@@ -92,6 +100,8 @@ class SessionPolicy:
     admission: str = "always"
     admission_min_frequency: int = 2
     admission_max_bytes: int | None = None
+    # Replacement policy: "none" (paper semantics), "lru", "lfu", "slru".
+    eviction: str = "none"
     rpq_seed: int = 1234
 
     def __post_init__(self):
@@ -113,6 +123,9 @@ class SessionPolicy:
                 and self.admission_max_bytes <= 0:
             raise ValueError("admission_max_bytes must be positive "
                              "(or None)")
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction {self.eviction!r}; "
+                             f"choose from {EVICTION_POLICIES}")
 
     def replace(self, **changes) -> "SessionPolicy":
         from dataclasses import replace as dc_replace
@@ -127,6 +140,7 @@ class SessionPolicy:
                 "admission": self.admission,
                 "admission_min_frequency": self.admission_min_frequency,
                 "admission_max_bytes": self.admission_max_bytes,
+                "eviction": self.eviction,
                 "rpq_seed": self.rpq_seed}
 
 
@@ -143,6 +157,8 @@ class CacheCounters:
     #                            MNU, or vetoed by the admission policy)
     expired: int = 0           # hits demoted by TTL (entry refreshed)
     collisions: int = 0        # exact-check demotions (signature aliasing)
+    evicted: int = 0           # lines recycled by the replacement policy
+    replicated: int = 0        # rows pushed in by hot-key replication
 
     @property
     def hits(self) -> int:
@@ -157,6 +173,7 @@ class CacheCounters:
                 "intra_hits": self.intra_hits, "computed": self.computed,
                 "inserted": self.inserted, "rejected": self.rejected,
                 "expired": self.expired, "collisions": self.collisions,
+                "evicted": self.evicted, "replicated": self.replicated,
                 "hit_rate": self.hit_rate}
 
     def merge(self, other: "CacheCounters") -> "CacheCounters":
@@ -213,6 +230,11 @@ class ReuseSession:
         self.mcache = VectorizedMCache(entries=policy.entries,
                                        ways=policy.ways, versions=versions)
         self.num_sets = self.mcache.num_sets
+        if policy.eviction != "none" and not persistent:
+            raise ValueError("eviction policies require a persistent "
+                             "session (flash sessions clear per batch)")
+        self._evictor = build_eviction_state(policy.eviction,
+                                             self.num_sets, policy.ways)
         self.counters = CacheCounters()
         # entry id -> micro-batch index of (re)insertion, densely grown
         # alongside the MCACHE's entry ids.
@@ -332,6 +354,30 @@ class ReuseSession:
         for key in stalest[:excess]:
             del self._seen[key]
 
+    def _admitted_absents(self, uniques, absent, counts,
+                          payload_bytes: int,
+                          batch_index: int) -> np.ndarray:
+        """Which absent unique positions may claim a line this batch."""
+        if self.policy.admission == "always":
+            return absent
+        if self.policy.admission == "size":
+            return absent if (
+                self.policy.admission_max_bytes is None
+                or payload_bytes <= self.policy.admission_max_bytes) \
+                else absent[:0]
+        # frequency
+        wants = []
+        for position in absent:
+            key = self._signature_key(uniques[position])
+            seen = self._seen.get(key, (0, 0))[0] + int(counts[position])
+            if seen >= self.policy.admission_min_frequency:
+                self._seen.pop(key, None)
+                wants.append(position)
+            else:
+                self._seen[key] = (seen, batch_index)
+        self._prune_seen()
+        return np.asarray(wants, dtype=np.int64)
+
     def _probe_and_admit(self, uniques, first_index, inverse,
                          payload_bytes: int, batch_index: int
                          ) -> tuple[np.ndarray, np.ndarray]:
@@ -344,6 +390,9 @@ class ReuseSession:
         default behaviour stays bit-identical to the pre-admission
         code.
         """
+        if self._evictor is not None:
+            return self._probe_and_admit_evicting(
+                uniques, first_index, inverse, payload_bytes, batch_index)
         if self.policy.admission == "always":
             return self.mcache.lookup_or_insert_batch(uniques)
 
@@ -355,25 +404,9 @@ class ReuseSession:
         states[~present] = HitState.MNU
 
         absent = np.flatnonzero(~present)
-        if self.policy.admission == "size":
-            admitted = absent if (
-                self.policy.admission_max_bytes is None
-                or payload_bytes <= self.policy.admission_max_bytes) \
-                else absent[:0]
-        else:  # frequency
-            counts = np.bincount(inverse, minlength=len(uniques))
-            wants = []
-            for position in absent:
-                key = self._signature_key(uniques[position])
-                seen = self._seen.get(key, (0, 0))[0] + int(counts[position])
-                if seen >= self.policy.admission_min_frequency:
-                    self._seen.pop(key, None)
-                    wants.append(position)
-                else:
-                    self._seen[key] = (seen, batch_index)
-            self._prune_seen()
-            admitted = np.asarray(wants, dtype=np.int64)
-
+        counts = np.bincount(inverse, minlength=len(uniques))
+        admitted = self._admitted_absents(uniques, absent, counts,
+                                          payload_bytes, batch_index)
         if len(admitted):
             # Insert in first-occurrence (arrival) order so the way
             # claims match a sequential replay of the batch.
@@ -383,6 +416,64 @@ class ReuseSession:
                 uniques[arrival])
             states[arrival] = sub_states
             entry_ids[arrival] = sub_ids
+        return states, entry_ids
+
+    def _probe_and_admit_evicting(self, uniques, first_index, inverse,
+                                  payload_bytes: int, batch_index: int
+                                  ) -> tuple[np.ndarray, np.ndarray]:
+        """The replacement-policy probe path.
+
+        Residents *touch* their line's recency/frequency state in
+        first-occurrence order (recency equals a sequential replay of
+        the batch); admitted absents claim a free way when the set has
+        one and otherwise recycle the policy's victim line via
+        :meth:`VectorizedMCache.replace_line` — the outcome the paper's
+        no-replacement model would have called MNU becomes MAU on the
+        victim's line.  Frequencies count rows, not batches, so a batch
+        with five rows of one signature weighs five.
+        """
+        m = self.mcache
+        present, entry_ids = m.probe_batch(uniques)
+        entry_ids = entry_ids.copy()
+        states = np.empty(len(uniques), dtype=object)
+        states[present] = HitState.HIT
+        states[~present] = HitState.MNU
+        counts = np.bincount(inverse, minlength=len(uniques))
+
+        residents = np.flatnonzero(present)
+        for position in residents[np.argsort(first_index[residents],
+                                             kind="stable")]:
+            entry = int(entry_ids[position])
+            self._evictor.touch(int(m._entry_set[entry]),
+                                int(m._entry_way[entry]),
+                                count=int(counts[position]))
+
+        absent = np.flatnonzero(~present)
+        admitted = self._admitted_absents(uniques, absent, counts,
+                                          payload_bytes, batch_index)
+        if len(admitted):
+            arrival = admitted[np.argsort(first_index[admitted],
+                                          kind="stable")]
+            unique_sets = signature_sets(uniques, m.num_sets)
+            for position in arrival:
+                set_index = int(unique_sets[position])
+                if m._occupancy[set_index] < m.ways:
+                    sub_states, sub_ids = m.lookup_or_insert_batch(
+                        uniques[position:position + 1])
+                    entry = int(sub_ids[0])
+                    states[position] = sub_states[0]
+                    self._evictor.insert(set_index,
+                                         int(m._entry_way[entry]),
+                                         count=int(counts[position]))
+                else:
+                    way = self._evictor.victim(set_index)
+                    entry = m.replace_line(set_index, way,
+                                           uniques[position])
+                    states[position] = HitState.MAU
+                    self._evictor.replace(set_index, way,
+                                          count=int(counts[position]))
+                    self.counters.evicted += 1
+                entry_ids[position] = entry
         return states, entry_ids
 
     def serve(self, vectors: np.ndarray, compute, batch_index: int
@@ -537,22 +628,100 @@ class ReuseSession:
         first = self.mcache.read_data_batch(entry_ids[reuse_idx[:1]])[0]
         return len(first[1]) if self.policy.exact_check else len(first)
 
+    def admit_external(self, vector, row, batch_index: int) -> bool:
+        """Insert-or-refresh one externally computed ``(vector, row)``.
+
+        The hot-key replication push: another shard already computed
+        ``row`` for ``vector`` and replicates the pair here so a future
+        probe hits locally.  A resident signature is refreshed in place
+        (data overwritten, age stamp reset to ``batch_index`` — so the
+        TTL invalidation rule applies to replicas exactly as to locally
+        computed entries); an absent one claims a line through the
+        session's own capacity rules, evicting a victim if a
+        replacement policy is configured.  Pushes bypass the admission
+        gate (the pusher already knows the key is hot) but never bypass
+        capacity: returns ``False`` when a no-replacement session has
+        no free way.  Not counted as a request — only the
+        ``replicated`` counter moves.
+        """
+        if not self.persistent:
+            raise RuntimeError("admit_external requires a persistent "
+                               "session")
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        row = np.asarray(row, dtype=np.float64)
+        signatures = self.hasher.signatures(vector,
+                                            self.policy.signature_bits)
+        m = self.mcache
+        present, probe_ids = m.probe_batch(signatures)
+        if present[0]:
+            entry = int(probe_ids[0])
+            if self._evictor is not None:
+                self._evictor.touch(int(m._entry_set[entry]),
+                                    int(m._entry_way[entry]))
+        elif self._evictor is not None:
+            set_index = int(signature_sets(signatures, m.num_sets)[0])
+            if m._occupancy[set_index] < m.ways:
+                _, sub_ids = m.lookup_or_insert_batch(signatures)
+                entry = int(sub_ids[0])
+                self._evictor.insert(set_index, int(m._entry_way[entry]))
+            else:
+                way = self._evictor.victim(set_index)
+                entry = m.replace_line(set_index, way, signatures[0])
+                self._evictor.replace(set_index, way)
+                self.counters.evicted += 1
+        else:
+            sub_states, sub_ids = m.lookup_or_insert_batch(signatures)
+            if sub_states[0] == HitState.MNU:
+                return False
+            entry = int(sub_ids[0])
+        self._grow_entry_batches(batch_index)
+        values = np.empty(1, dtype=object)
+        if self.policy.exact_check:
+            values[0] = (np.array(vector[0], copy=True),
+                         np.array(row, copy=True))
+        else:
+            values[0] = np.array(row, copy=True)
+        m.write_data_batch([entry], values)
+        self._entry_batch[entry] = batch_index
+        self.counters.replicated += 1
+        return True
+
     # ------------------------------------------------------------------
     # Snapshot / restore (persistent sessions)
     # ------------------------------------------------------------------
     def state_dict(self) -> tuple[dict, dict]:
         """Serialize the session as ``(meta, arrays)``.
 
-        ``meta`` is JSON-safe (mode, counters, policy fingerprint);
-        ``arrays`` holds plain numpy arrays fit for ``np.savez`` without
-        pickling: the resident signatures in entry-id order, their
+        ``meta`` is JSON-safe (mode, layout, counters, policy
+        fingerprint); ``arrays`` holds plain numpy arrays fit for
+        ``np.savez`` without pickling: the resident signatures, their
         insertion batches, the valid-data mask and the stored
         payload/result matrices (dense — one stream has one vector
         length, so widths are uniform).
+
+        Two layouts.  ``entry-order`` (no replacement) lists every
+        entry id ever issued — dense ids re-insert to identical
+        placement.  ``line-order`` (eviction active) lists only *live*
+        lines in canonical ``(set, way)`` order — evicted ids are
+        orphans that must not be resurrected — plus the replacement
+        policy's recency/frequency/segment arrays, so the restored
+        session evicts exactly as the donor would have.  Ids renumber
+        densely on restore, which is behaviourally invisible (probes
+        resolve ids through the line map) and makes a re-snapshot of
+        the restored session byte-identical.
         """
         m = self.mcache
-        count = m._next_entry_id
-        sets, ways = m._entry_set[:count], m._entry_way[:count]
+        if self._evictor is not None:
+            sets, ways = np.nonzero(m._valid_tag)  # (set, way) lexicographic
+            sets = sets.astype(np.int64)
+            ways = ways.astype(np.int64)
+            entry_batch = self._entry_batch[m._line_entry[sets, ways]]
+            layout = "line-order"
+        else:
+            count = m._next_entry_id
+            sets, ways = m._entry_set[:count], m._entry_way[:count]
+            entry_batch = self._entry_batch[:count]
+            layout = "entry-order"
         if m._tag_words is not None:
             signatures = m._tag_words[sets, ways].copy()
             mode = "words"
@@ -574,7 +743,7 @@ class ReuseSession:
         seen_keys = sorted(self._seen)
         arrays = {
             "signatures": signatures,
-            "entry_batch": self._entry_batch[:count].copy(),
+            "entry_batch": np.asarray(entry_batch, dtype=np.int64).copy(),
             "has_data": has_data,
             "payloads": payloads,
             "rows": rows,
@@ -594,10 +763,13 @@ class ReuseSession:
                 arrays["seen_keys"] = np.array(seen_keys, dtype=np.int64)
         else:
             arrays["seen_keys"] = np.empty(0, dtype=np.int64)
+        if self._evictor is not None:
+            arrays.update(self._evictor.state_arrays())
         meta = {
             "state_version": STATE_VERSION,
             "mode": mode,
-            "entries": int(count),
+            "layout": layout,
+            "entries": int(len(signatures)),
             "counters": {name: int(value)
                          for name, value in vars(self.counters).items()},
             "mcache_stats": {name: int(value)
@@ -621,6 +793,15 @@ class ReuseSession:
         if meta["policy"] != self.policy.fingerprint():
             raise ValueError("snapshot was taken under a different policy; "
                              "refusing to restore")
+        expected_layout = "line-order" if self._evictor is not None \
+            else "entry-order"
+        if meta.get("layout") != expected_layout:
+            # The policy fingerprint (which includes ``eviction``)
+            # should make this unreachable; catch hand-edited or
+            # corrupt payloads loudly rather than misinterpret ids.
+            raise ValueError(
+                f"snapshot layout {meta.get('layout')!r} does not match "
+                f"the {expected_layout!r} layout of this policy")
         self.clear()
         signatures = np.asarray(arrays["signatures"])
         if len(signatures):
@@ -661,6 +842,15 @@ class ReuseSession:
             setattr(self.counters, name, int(value))
         for name, value in meta["mcache_stats"].items():
             setattr(self.mcache.stats, name, int(value))
+        if self._evictor is not None:
+            if "ev_rank" not in arrays:
+                raise ValueError("snapshot is missing the eviction "
+                                 "metadata arrays")
+            ranks = np.asarray(arrays["ev_rank"], dtype=np.int64)
+            if not np.array_equal(ranks >= 0, self.mcache._valid_tag):
+                raise ValueError("snapshot eviction metadata does not "
+                                 "cover the resident lines")
+            self._evictor.load_state_arrays(arrays)
 
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
@@ -670,3 +860,5 @@ class ReuseSession:
         self.mcache.clear()
         self._entry_batch = np.empty(0, dtype=np.int64)
         self._seen = {}
+        if self._evictor is not None:
+            self._evictor.clear()

@@ -27,7 +27,10 @@ signature machinery pays off *across* requests.  This package provides
   (:class:`~repro.serving.parallel.FaultInjection` makes the recovery
   path testable);
 * :mod:`~repro.serving.router` — deterministic signature-hash routing
-  on a SHA-256 consistent ring;
+  on a SHA-256 consistent ring, plus
+  :class:`~repro.serving.router.HotKeyTracker` hot-key replication;
+* :class:`~repro.serving.tiering.SharedL2Cache` — the shared
+  second-tier payload→row store behind the per-shard L1 caches;
 * :mod:`~repro.serving.loadgen` — deterministic traffic generators
   (uniform, bursty, hot-key/Zipfian).
 
@@ -52,12 +55,15 @@ from repro.serving.loadgen import (
     generate_trace,
 )
 from repro.serving.parallel import FaultInjection, ParallelInferenceServer
-from repro.serving.router import ConsistentHashRing, signature_key
+from repro.serving.router import (ConsistentHashRing, HotKeyTracker,
+                                  signature_key)
 from repro.serving.server import InferenceServer, ServingReport
+from repro.serving.tiering import SharedL2Cache
 
 __all__ = [
     "BatcherConfig",
     "ConsistentHashRing",
+    "HotKeyTracker",
     "signature_key",
     "CacheCounters",
     "FaultInjection",
@@ -69,6 +75,7 @@ __all__ = [
     "ServingPolicy",
     "ServingReport",
     "ServingReuseEngine",
+    "SharedL2Cache",
     "SignatureResultCache",
     "TRAFFIC_PATTERNS",
     "TrafficConfig",

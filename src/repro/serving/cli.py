@@ -10,6 +10,7 @@ the HTTP front end:
     repro-serve --shards 4 --admission frequency
     repro-serve --shards 2 --snapshot-to snap/          # persist caches
     repro-serve --shards 2 --warm-start snap/ --min-hit-rate 0.97
+    repro-serve --eviction lru --replicate-top 8 --l2 l2/ --shards 2
     repro-serve --parallel --workers 4                  # real processes
     repro-serve --parallel --workers 4 --kill-worker 1  # crash recovery
     repro-serve --http --port 8080 --serve-forever
@@ -23,7 +24,11 @@ as real worker processes with supervised crash recovery;
 ``--kill-worker``/``--kill-after-batches`` inject a fault into the
 replay (the CI parallel-serving smoke), and ``--parity-check``
 asserts the parallel run converges to the single-process replay's
-outputs and hit counters.  Installed by ``setup.py``
+outputs and hit counters.  ``--eviction``/``--replicate-top``/``--l2``
+turn on the cache-tiering stack (replacement policies, hot-key
+replication, shared L2); without ``--parallel``, ``--parity-check``
+asserts every served output is byte-identical to the per-request
+oracle (the CI tiered-serving smoke).  Installed by ``setup.py``
 (``console_scripts``); equally runnable as ``python -m
 repro.serving.cli``.
 """
@@ -40,6 +45,7 @@ import numpy as np
 
 from repro.analysis.serving_sweep import (CACHE_POLICIES, ServingPoint,
                                           serving_pieces)
+from repro.core.eviction import EVICTION_POLICIES
 from repro.core.session import ADMISSION_POLICIES
 from repro.models.registry import MODEL_NAMES
 from repro.serving.loadgen import TRAFFIC_PATTERNS, trace_summary
@@ -138,6 +144,24 @@ def serve_main(argv=None) -> int:
     parser.add_argument("--admission", default="always",
                         choices=list(ADMISSION_POLICIES),
                         help="cache insertion gate")
+    parser.add_argument("--eviction", default="none",
+                        choices=list(EVICTION_POLICIES),
+                        help="cache replacement policy (none = the "
+                             "paper's no-replacement behaviour)")
+    parser.add_argument("--replicate-top", type=int, default=0,
+                        metavar="K",
+                        help="replicate the K hottest signatures' "
+                             "cached rows across shards (0 = off)")
+    parser.add_argument("--l2", default=None, metavar="DIR",
+                        help="back the per-shard caches with a shared "
+                             "L2 tier persisted under DIR")
+    parser.add_argument("--entries", type=int, default=4096,
+                        help="cache entries per shard")
+    parser.add_argument("--ways", type=int, default=16,
+                        help="cache set associativity")
+    parser.add_argument("--rotate-every", type=int, default=0,
+                        help="zipfian hot-set churn period in requests "
+                             "(0 = stationary popularity)")
     parser.add_argument("--warm-start", default=None, metavar="DIR",
                         help="restore cache state from a snapshot "
                              "directory before serving")
@@ -166,7 +190,11 @@ def serve_main(argv=None) -> int:
     parser.add_argument("--parity-check", action="store_true",
                         help="with --parallel: exit non-zero unless the "
                              "parallel replay matches the single-process "
-                             "replay's outputs and hit counters")
+                             "replay's outputs and hit counters; "
+                             "otherwise: exit non-zero unless every "
+                             "served output is byte-identical to the "
+                             "engine-less per-request oracle (needs "
+                             "--cache-policy request_exact)")
     parser.add_argument("--http", action="store_true",
                         help="expose the stdlib HTTP front end")
     parser.add_argument("--port", type=int, default=0,
@@ -181,18 +209,44 @@ def serve_main(argv=None) -> int:
         parser.error("--parallel manages per-worker snapshots itself; "
                      "--warm-start/--snapshot-to apply to the "
                      "single-process server")
+    if args.parallel and (args.replicate_top or args.l2):
+        parser.error("--replicate-top/--l2 need shards that share "
+                     "memory; they cannot be combined with --parallel")
+    if not args.parallel and args.parity_check \
+            and args.cache_policy != "request_exact":
+        parser.error("--parity-check without --parallel asserts "
+                     "byte-identity against the per-request oracle, "
+                     "which only the request_exact policy guarantees")
 
     shards = args.workers if args.parallel else args.shards
+    l2_store = None
+    if args.l2 is not None:
+        from repro.serving.tiering import SharedL2Cache
+        l2_store = SharedL2Cache(directory=args.l2)
     point = ServingPoint(model=args.model, traffic=args.traffic,
                          cache_policy=args.cache_policy,
                          batch_size=args.batch_size,
                          num_requests=args.requests,
-                         pool_size=args.pool_size, shards=shards,
-                         admission=args.admission, seed=args.seed)
-    _, pool, trace, server = serving_pieces(point)
+                         pool_size=args.pool_size,
+                         entries=args.entries, ways=args.ways,
+                         shards=shards,
+                         admission=args.admission,
+                         eviction=args.eviction,
+                         replicate_top=args.replicate_top,
+                         l2=args.l2 is not None,
+                         rotate_every=args.rotate_every, seed=args.seed)
+    _, pool, trace, server = serving_pieces(point, l2_store=l2_store)
+    tiering = ""
+    if args.eviction != "none" or args.replicate_top or args.l2:
+        pieces = [f"{args.eviction} eviction"]
+        if args.replicate_top:
+            pieces.append(f"top-{args.replicate_top} replication")
+        if args.l2:
+            pieces.append(f"shared L2 ({len(l2_store)} warm entries)")
+        tiering = ", " + ", ".join(pieces)
     print(f"{args.model} behind a {args.cache_policy} cache "
           f"({shards} shard{'s' if shards != 1 else ''}, "
-          f"{args.admission} admission); {args.traffic} trace "
+          f"{args.admission} admission{tiering}); {args.traffic} trace "
           f"({trace_summary(trace)['distinct_payloads']} distinct "
           f"payloads)")
     if args.parallel:
@@ -204,8 +258,16 @@ def serve_main(argv=None) -> int:
 
     if not args.http:
         before = server.cache_counters()
-        _, report = server.replay(trace, pool)
+        outputs, report = server.replay(trace, pool)
         _print_report(report)
+        if report.request_cache.get("evicted") \
+                or report.request_cache.get("replicated"):
+            print(f"tiering: {report.request_cache.get('evicted', 0)} "
+                  f"evictions, {report.request_cache.get('replicated', 0)} "
+                  f"replica pushes")
+        if report.l2:
+            print(f"shared L2: {report.l2['entries']} entries, hit rate "
+                  f"{report.l2['hit_rate']:.2%}")
         # Counters survive a warm start, so isolate this run's rate.
         after = server.cache_counters()
         run_requests = after.requests - before.requests
@@ -218,12 +280,34 @@ def serve_main(argv=None) -> int:
             manifest = server.snapshot(args.snapshot_to)
             print(f"snapshot written to {args.snapshot_to} "
                   f"({len(manifest['caches'])} cache streams)")
+        if l2_store is not None:
+            manifest = l2_store.flush()
+            print(f"L2 store flushed to {args.l2} "
+                  f"({manifest['entries']} entries)")
+        failures = []
+        if args.parity_check:
+            # The exactness oracle: every served output must be
+            # byte-identical to the engine-less per-request forward —
+            # eviction, replication and L2 may change *where* a row
+            # comes from, never its bytes.
+            oracle = server.oracle_outputs(pool)
+            mismatched = sum(
+                1 for request, output in zip(trace, outputs)
+                if not np.array_equal(output,
+                                      oracle[request.pool_index]))
+            if mismatched:
+                failures.append(f"{mismatched}/{len(trace)} outputs "
+                                f"differ from the per-request oracle")
+            else:
+                print(f"parity: all {len(trace)} outputs byte-identical "
+                      f"to the per-request oracle")
         if args.min_hit_rate is not None \
                 and run_hit_rate < args.min_hit_rate:
-            print(f"FAIL hit rate {run_hit_rate:.2%} below the "
-                  f"{args.min_hit_rate:.2%} floor")
-            return 1
-        return 0
+            failures.append(f"hit rate {run_hit_rate:.2%} below the "
+                            f"{args.min_hit_rate:.2%} floor")
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1 if failures else 0
 
     front = server.serve_http(port=args.port)
     print(f"HTTP front end at {front.url()} "

@@ -87,11 +87,24 @@ class ServingPolicy(SessionPolicy):
     # independent of micro-batch composition and therefore bitwise
     # reproducible against the per-request oracle.
     compute: str = "batched"
+    # Hot-key replication: the server's router tracks per-signature
+    # request frequency and replicates the ``replicate_top`` hottest
+    # signatures' cached rows across every shard (0 = off); see
+    # :class:`repro.serving.router.HotKeyTracker`.
+    replicate_top: int = 0
+    replicate_min_count: int = 3
 
     def __post_init__(self):
         super().__post_init__()
         if self.compute not in ("batched", "per_request"):
             raise ValueError(f"unknown compute mode {self.compute!r}")
+        if self.replicate_top < 0:
+            raise ValueError("replicate_top must be >= 0")
+        if self.replicate_min_count <= 0:
+            raise ValueError("replicate_min_count must be positive")
+        if self.replicate_top > 0 and not self.request_cache:
+            raise ValueError("hot-key replication replicates request-"
+                             "cache rows; enable request_cache")
 
 
 class SignatureResultCache(ReuseSession):

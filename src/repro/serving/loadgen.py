@@ -18,7 +18,9 @@ Three patterns span the scenario-diversity axis of the serving sweep:
   hot-key regime of production serving): a few payloads dominate, so
   cross-request reuse is high.  The Zipf draw is a cumulative-weight
   inversion, not :meth:`numpy.random.Generator.zipf`, so traces stay
-  stable across numpy versions.
+  stable across numpy versions.  ``zipf_rotate_every`` adds hot-set
+  churn — the rank→payload mapping rotates every N requests — which is
+  the regime where cache *replacement* policies earn their keep.
 """
 
 from __future__ import annotations
@@ -47,6 +49,12 @@ class TrafficConfig:
     rate_rps: float = 2000.0
     # Zipf popularity exponent (zipfian pattern).
     zipf_exponent: float = 1.1
+    # Zipfian hot-set churn: every this many requests the rank→payload
+    # mapping rotates by ``pool_size // 3`` positions, so the hot head
+    # moves through the pool (production hot keys change over a day;
+    # a no-replacement cache stuck with epoch-0's head pays for every
+    # later epoch).  0 = stationary popularity (the default).
+    zipf_rotate_every: int = 0
     # Bursty pattern: arrival rate multiplier inside bursts and the
     # number of requests per burst/idle phase.
     burst_factor: float = 8.0
@@ -67,6 +75,8 @@ class TrafficConfig:
             raise ValueError("burst_factor must be >= 1")
         if self.burst_length <= 0:
             raise ValueError("burst_length must be positive")
+        if self.zipf_rotate_every < 0:
+            raise ValueError("zipf_rotate_every must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -118,8 +128,17 @@ def _pool_indices(config: TrafficConfig, pool_size: int) -> np.ndarray:
         # bounded by the pool (np.random's zipf is unbounded).
         cdf = np.cumsum(_zipf_weights(pool_size, config.zipf_exponent))
         draws = rng.random(config.num_requests)
-        return np.searchsorted(cdf, draws, side="right").clip(0,
-                                                              pool_size - 1)
+        ranks = np.searchsorted(cdf, draws, side="right").clip(0,
+                                                               pool_size - 1)
+        if config.zipf_rotate_every:
+            # Hot-set churn: the rank→payload mapping rotates once per
+            # epoch, so rank 0 names a different pool payload in each —
+            # the skew shape is unchanged, only *which* keys are hot.
+            epochs = np.arange(config.num_requests) \
+                // config.zipf_rotate_every
+            step = max(1, pool_size // 3)
+            ranks = (ranks + epochs * step) % pool_size
+        return ranks
     return rng.integers(0, pool_size, size=config.num_requests)
 
 

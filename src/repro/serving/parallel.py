@@ -248,6 +248,13 @@ class ParallelInferenceServer:
             raise ValueError("max_respawns must be non-negative")
         self.model = model
         self.policy = policy or ServingPolicy()
+        if self.policy.replicate_top > 0:
+            # Workers are isolated processes: there is no shared memory
+            # to push replicated rows through, so a parallel run with
+            # replication on could never match the in-process replay.
+            raise ValueError("hot-key replication needs shards that "
+                             "share memory; it is not supported under "
+                             "the process-parallel server")
         self.batcher_config = batcher or BatcherConfig()
         self.num_workers = workers
         self.snapshot_every_batches = snapshot_every_batches
@@ -493,7 +500,8 @@ class ParallelInferenceServer:
         """
         deltas = {}
         counter_keys = ("requests", "cross_hits", "intra_hits", "computed",
-                        "inserted", "rejected", "expired", "collisions")
+                        "inserted", "rejected", "expired", "collisions",
+                        "evicted", "replicated")
         total = dict.fromkeys(counter_keys, 0)
         for index, row in final.items():
             before = baseline.get(index, {}).get("counters", {})

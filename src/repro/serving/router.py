@@ -90,3 +90,85 @@ class ConsistentHashRing:
             dtype=">u8").astype(np.uint64)
         indices = np.searchsorted(self._hashes, points, side="left")
         return self._owners[indices % len(self._owners)]
+
+
+class HotKeyTracker:
+    """Per-signature frequency tracking with a sticky replicated top-k.
+
+    Ring affinity sends *all* repeats of a payload to one shard, which
+    is exactly wrong for Zipfian head keys: the shard owning the
+    hottest signature carries a disproportionate share of the traffic
+    (the ``shard_balance`` column of the serving sweep).  The tracker
+    counts per-signature-key requests and promotes the first ``top_k``
+    keys to reach ``min_count`` into the *replicated* set; replicated
+    keys route round-robin across every shard (starting at the ring
+    owner) and the serving shard pushes their freshly served rows into
+    its peers' caches after each batch, so every shard can answer them
+    locally.
+
+    Membership is **sticky** — first-to-threshold, never demoted —
+    which keeps routing deterministic (no flap between replicas and
+    affinity mid-trace) and is a good proxy under skew: with a
+    stationary Zipfian head, the hottest keys cross the threshold
+    first.  Replica *entries* still age out individually under each
+    shard's TTL; the next push refreshes them.  Tracker state is
+    process-local and intentionally not part of snapshots: a
+    warm-started server re-learns its hot keys from live traffic.
+
+    The pre-threshold count map is bounded (stalest-by-insertion keys
+    are pruned beyond ``capacity``), so one-shot traffic cannot grow it
+    without limit.
+    """
+
+    def __init__(self, top_k: int, min_count: int = 3,
+                 capacity: int = 4096):
+        if top_k < 0:
+            raise ValueError("top_k must be >= 0")
+        if min_count <= 0:
+            raise ValueError("min_count must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.top_k = top_k
+        self.min_count = min_count
+        self.capacity = capacity
+        self._counts: dict[bytes, int] = {}
+        # key -> next round-robin offset (0 = the ring owner).
+        self._replicated: dict[bytes, int] = {}
+
+    def observe(self, key: bytes) -> bool:
+        """Count one request for ``key``; True if it is replicated."""
+        if key in self._replicated:
+            return True
+        if self.top_k == 0:
+            return False
+        count = self._counts.get(key, 0) + 1
+        if count >= self.min_count and len(self._replicated) < self.top_k:
+            self._counts.pop(key, None)
+            self._replicated[key] = 0
+            return True
+        self._counts[key] = count
+        if len(self._counts) > self.capacity:
+            # Deterministic pruning: lowest count first, insertion
+            # order breaking ties (dicts preserve it).
+            excess = len(self._counts) - self.capacity
+            coldest = sorted(self._counts,
+                             key=lambda k: self._counts[k])[:excess]
+            for stale in coldest:
+                del self._counts[stale]
+        return False
+
+    def is_replicated(self, key: bytes) -> bool:
+        return key in self._replicated
+
+    def replicated_keys(self) -> list[bytes]:
+        return list(self._replicated)
+
+    def spread(self, key: bytes, home: int, shards: int) -> int:
+        """Next round-robin shard for a replicated ``key``.
+
+        The cycle starts at ``home`` (the ring owner), so the first
+        request primes the owner's cache before replicas take turns.
+        """
+        offset = self._replicated[key]
+        self._replicated[key] = (offset + 1) % shards
+        return (home + offset) % shards

@@ -64,10 +64,13 @@ from repro.serving.batcher import (BatcherConfig, BatcherTelemetry,
 from repro.serving.engine import (ServingPolicy, ServingReuseEngine,
                                   SignatureResultCache)
 from repro.serving.loadgen import Request
-from repro.serving.router import ConsistentHashRing, signature_key
+from repro.serving.router import (ConsistentHashRing, HotKeyTracker,
+                                  signature_key)
 
 SNAPSHOT_FORMAT = "repro-serving-snapshot"
-SNAPSHOT_VERSION = 1
+# Version 2: the session state layout gained the eviction metadata
+# (repro.core.session.STATE_VERSION 2).
+SNAPSHOT_VERSION = 2
 SNAPSHOT_MANIFEST = "manifest.json"
 SNAPSHOT_ARRAYS = "state.npz"
 
@@ -100,6 +103,8 @@ class ServingReport:
     measured_makespan_s: float = 0.0
     # Worker respawns the parallel supervisor performed during the run.
     recoveries: int = 0
+    # Shared-L2 telemetry (empty when no L2 tier is attached).
+    l2: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -120,6 +125,7 @@ class ServingReport:
             "simulated_makespan_s": self.simulated_makespan_s,
             "measured_makespan_s": self.measured_makespan_s,
             "recoveries": self.recoveries,
+            "l2": self.l2,
         }
 
 
@@ -175,7 +181,8 @@ class InferenceServer:
     """Serve a trained model with sharded cross-request reuse."""
 
     def __init__(self, model, policy: ServingPolicy | None = None,
-                 batcher: BatcherConfig | None = None, shards: int = 1):
+                 batcher: BatcherConfig | None = None, shards: int = 1,
+                 l2=None):
         if shards <= 0:
             raise ValueError("shards must be positive")
         self.model = model
@@ -188,12 +195,28 @@ class InferenceServer:
         # Routing hashes with the same RPQ stream the caches use, so
         # the shard split is a pure function of (payload, policy).
         self._route_hasher = RPQHasher(seed=self.policy.rpq_seed)
+        # Hot-key replication: the tracker promotes the hottest
+        # signatures, routing spreads them round-robin, and each served
+        # batch pushes their rows to the peer shards' caches.
+        self._hot = HotKeyTracker(
+            self.policy.replicate_top,
+            min_count=self.policy.replicate_min_count) \
+            if self.policy.replicate_top > 0 else None
+        # The shared second tier behind the per-shard request caches.
+        if l2 is not None and not self.policy.request_cache:
+            raise ValueError("the shared L2 backs the request cache; "
+                             "enable request_cache to attach one")
+        self.l2 = l2
         self.shards = [_Shard(index, self) for index in range(shards)]
         model.set_engine(self.shards[0].vector_engine)
 
         self._output_tail: tuple | None = None
         self._compute_time_s = 0.0
         self._started_at = time.perf_counter()
+        if l2 is not None:
+            # Cached rows are only valid for the weights that computed
+            # them; binding refuses a persisted store from another model.
+            l2.bind_model(self._model_fingerprint())
 
     # -- single-shard-era conveniences ---------------------------------
     @property
@@ -209,10 +232,18 @@ class InferenceServer:
     # Routing
     # ------------------------------------------------------------------
     def shard_for(self, payload) -> int:
-        """The shard owning a payload (by RPQ signature, ring-placed)."""
+        """The shard serving a payload.
+
+        The ring owner by default; replicated hot keys take the
+        tracker's round-robin turn across all shards instead.
+        """
         if self.num_shards == 1:
             return 0
-        return self._ring.route(self._signature_key(payload))
+        key = self._signature_key(payload)
+        home = self._ring.route(key)
+        if self._hot is not None and self._hot.observe(key):
+            return self._hot.spread(key, home, self.num_shards)
+        return home
 
     def _signature_key(self, payload) -> bytes:
         """The ring key of one payload (per-row RPQ hashing).
@@ -231,11 +262,27 @@ class InferenceServer:
         if self.num_shards == 1:
             return np.zeros(len(trace), dtype=np.int64)
         unique = sorted({request.pool_index for request in trace})
-        routed = self._ring.route_many(
-            [self._signature_key(pool[index]) for index in unique])
+        keys = {index: self._signature_key(pool[index])
+                for index in unique}
+        routed = self._ring.route_many([keys[index] for index in unique])
         owners = dict(zip(unique, (int(shard) for shard in routed)))
-        return np.array([owners[request.pool_index] for request in trace],
-                        dtype=np.int64)
+        if self._hot is None:
+            return np.array([owners[request.pool_index]
+                             for request in trace], dtype=np.int64)
+        # Replication routes online, in arrival order: the tracker's
+        # counts, promotions and round-robin turns see the requests
+        # exactly as the async front door would.
+        shard_of = np.empty(len(trace), dtype=np.int64)
+        arrivals = np.array([request.arrival_s for request in trace])
+        for k in np.argsort(arrivals, kind="stable"):
+            index = trace[k].pool_index
+            key = keys[index]
+            if self._hot.observe(key):
+                shard_of[k] = self._hot.spread(key, owners[index],
+                                               self.num_shards)
+            else:
+                shard_of[k] = owners[index]
+        return shard_of
 
     # ------------------------------------------------------------------
     # Synchronous batch path
@@ -266,9 +313,16 @@ class InferenceServer:
         if shard.request_cache is not None:
             flat = np.asarray(stacked, dtype=np.float64).reshape(
                 len(stacked), -1)
-            rows, _ = shard.request_cache.serve(
-                flat, lambda indices: self._forward_rows(stacked[indices]),
-                shard.batch_index)
+            if self.l2 is not None:
+                compute = lambda indices: self._compute_rows_l2(  # noqa: E731
+                    stacked, flat, indices)
+            else:
+                compute = lambda indices: self._forward_rows(  # noqa: E731
+                    stacked[indices])
+            rows, _ = shard.request_cache.serve(flat, compute,
+                                                shard.batch_index)
+            if self._hot is not None and self.num_shards > 1:
+                self._push_replicas(shard, flat, rows)
         else:
             rows = self._forward_rows(stacked)
         if shard.vector_engine is not None:
@@ -277,6 +331,59 @@ class InferenceServer:
         shard.batch_count += 1
         tail = self._output_tail or (rows.shape[1],)
         return [row.reshape(tail) for row in rows]
+
+    def _compute_rows_l2(self, stacked: np.ndarray, flat: np.ndarray,
+                         indices) -> np.ndarray:
+        """L1-missing rows via the shared L2: hit rows come from the
+        store, truly missing ones from the model (written through)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        cached = [self.l2.lookup(flat[index]) for index in indices]
+        missing = [slot for slot, row in enumerate(cached) if row is None]
+        if missing:
+            computed = self._forward_rows(stacked[indices[missing]])
+            width = computed.shape[1]
+        else:
+            # Every row came from L2: the store also remembers the
+            # unflattened output shape the model never got to set.
+            width = len(cached[0])
+            if self.l2.output_tail is not None:
+                self._output_tail = tuple(self.l2.output_tail)
+        out = np.empty((len(indices), width), dtype=np.float64)
+        for slot, row in enumerate(cached):
+            if row is not None:
+                out[slot] = row
+        for position, slot in enumerate(missing):
+            out[slot] = computed[position]
+            self.l2.insert(flat[indices[slot]], computed[position],
+                           self._output_tail)
+        return out
+
+    def _push_replicas(self, shard: _Shard, flat: np.ndarray,
+                       rows: np.ndarray) -> None:
+        """Push this batch's replicated hot rows to the peer shards.
+
+        Every served row whose signature is in the tracker's replicated
+        set is admitted into each peer's request cache (insert, or
+        refresh in place), stamped with the *peer's* batch clock — so
+        replicas age out under the peer's own TTL and the next push
+        re-validates them.  Under ``request_exact``+``per_request`` the
+        pushed row is the per-request oracle's bytes, so replication
+        cannot perturb the byte-identity contract.
+        """
+        pushed: set[bytes] = set()
+        for position in range(len(flat)):
+            payload_bytes = flat[position].tobytes()
+            if payload_bytes in pushed:
+                continue
+            pushed.add(payload_bytes)
+            if not self._hot.is_replicated(
+                    self._signature_key(flat[position])):
+                continue
+            for peer in self.shards:
+                if peer is shard or peer.request_cache is None:
+                    continue
+                peer.request_cache.admit_external(
+                    flat[position], rows[position], peer.batch_index)
 
     # ------------------------------------------------------------------
     # Async front door
@@ -450,6 +557,8 @@ class InferenceServer:
             "layers": list(self.policy.layers)
             if self.policy.layers is not None else None,
             "conv_channel_group": self.policy.conv_channel_group,
+            "replicate_top": self.policy.replicate_top,
+            "replicate_min_count": self.policy.replicate_min_count,
         })
         return fingerprint
 
@@ -663,7 +772,8 @@ class InferenceServer:
             hit_rate=hit_rate,
             shards=self.num_shards,
             shard_stats=[shard.stats_row() for shard in self.shards],
-            simulated_makespan_s=simulated_makespan_s)
+            simulated_makespan_s=simulated_makespan_s,
+            l2=self.l2.stats_dict() if self.l2 is not None else {})
 
     def stats(self) -> dict:
         """Live snapshot (the HTTP ``/stats`` payload).

@@ -1,0 +1,201 @@
+"""The shared second cache tier behind the per-shard L1 caches.
+
+The sharded server's request caches are *L1*: per-shard, signature-
+indexed, capacity-bounded set-associative stores.  Under a replacement
+policy an L1 line that loses its way forgets its row entirely — the
+next probe recomputes it from the model.  :class:`SharedL2Cache` is the
+prototype second tier that catches exactly that traffic: one store
+shared by **all** shards, keyed by exact payload bytes, consulted only
+on L1 miss and written through on compute.
+
+Design points:
+
+* **exactness** — L2 is keyed by the full flattened payload, so a hit
+  can only return the row computed for a byte-identical request; the
+  ``request_exact``+``per_request`` byte-identity contract is
+  unaffected (the golden tiered suite pins it);
+* **capacity** — plain LRU over insertion/hit order, in Python dict
+  order (deterministic);
+* **persistence** — the store round-trips through the same
+  snapshot-format discipline as the server's cache snapshots: a
+  versioned JSON manifest plus one dense ``.npz`` of stacked
+  payload/row matrices, committed torn-proof (temp names +
+  :func:`os.replace`, manifest last, generation-suffixed arrays), so a
+  crash mid-:meth:`flush` leaves the previous complete store intact.
+
+Granularity note: this prototype tiers the *request* cache only.
+Vector-granularity (per-layer) rows stay per shard — sharing them would
+need per-stream keying across engines, which the tiering sweep does not
+yet justify.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+L2_FORMAT = "repro-serving-l2"
+L2_VERSION = 1
+L2_MANIFEST = "l2-manifest.json"
+
+
+class SharedL2Cache:
+    """Shared payload→row store consulted on per-shard L1 misses.
+
+    ``directory=None`` keeps the store in memory only (the sweep's
+    mode); with a directory, the constructor loads any complete
+    persisted store found there and :meth:`flush` writes the current
+    contents back, torn-proof.
+    """
+
+    def __init__(self, directory=None, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.directory = Path(directory) if directory is not None else None
+        self.capacity = capacity
+        # payload bytes -> (payload row, result row); dict order is the
+        # LRU order (oldest first) — hits reinsert at the end.
+        self._store: dict[bytes, tuple[np.ndarray, np.ndarray]] = {}
+        # The unflattened output shape of one request, recorded at
+        # insert time so an all-L2-hit batch can still reshape rows.
+        self.output_tail: tuple | None = None
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self._generation = 0
+        # SHA-256 of the parameters whose outputs this store holds;
+        # None until a server binds (or a persisted store declares) it.
+        self.model_fingerprint: str | None = None
+        if self.directory is not None \
+                and (self.directory / L2_MANIFEST).exists():
+            self._load()
+
+    def bind_model(self, fingerprint: str) -> None:
+        """Pin the store to one model's parameters.
+
+        Rows are only valid for the weights that computed them (the
+        payload key verifies inputs, never weights), so attaching a
+        persisted store to a different model refuses loudly instead of
+        serving stale outputs.
+        """
+        if self.model_fingerprint is not None \
+                and self.model_fingerprint != fingerprint:
+            raise ValueError("this L2 store was populated by a different "
+                             "model; its rows would be stale")
+        self.model_fingerprint = fingerprint
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # ------------------------------------------------------------------
+    def lookup(self, flat_payload: np.ndarray) -> np.ndarray | None:
+        """The stored row for a byte-identical payload, else ``None``."""
+        key = np.ascontiguousarray(flat_payload,
+                                   dtype=np.float64).tobytes()
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        # Reinsert at the end: dict order is the LRU order.
+        del self._store[key]
+        self._store[key] = entry
+        self.hits += 1
+        return entry[1].copy()
+
+    def insert(self, flat_payload: np.ndarray, row: np.ndarray,
+               output_tail: tuple | None = None) -> None:
+        """Write-through one computed ``(payload, row)`` pair."""
+        payload = np.ascontiguousarray(flat_payload, dtype=np.float64)
+        key = payload.tobytes()
+        self._store.pop(key, None)
+        self._store[key] = (payload.copy(),
+                            np.asarray(row, dtype=np.float64).copy())
+        if output_tail is not None:
+            self.output_tail = tuple(int(d) for d in output_tail)
+        self.inserts += 1
+        while len(self._store) > self.capacity:
+            oldest = next(iter(self._store))
+            del self._store[oldest]
+
+    def stats_dict(self) -> dict:
+        lookups = self.hits + self.misses
+        return {"entries": len(self._store), "hits": self.hits,
+                "misses": self.misses, "inserts": self.inserts,
+                "hit_rate": self.hits / lookups if lookups else 0.0}
+
+    # ------------------------------------------------------------------
+    # Persistence (snapshot-format discipline)
+    # ------------------------------------------------------------------
+    def flush(self) -> dict:
+        """Persist the store under :attr:`directory`; returns the manifest.
+
+        Same torn-proof commit order as the server's snapshots: arrays
+        land under a temp name and are renamed into a generation-
+        suffixed file, the manifest commits last, stale generations are
+        cleaned up afterwards.
+        """
+        if self.directory is None:
+            raise RuntimeError("this L2 store has no directory to "
+                               "flush to")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entries = list(self._store.values())
+        payloads = np.stack([p for p, _ in entries]) if entries \
+            else np.empty((0, 0))
+        rows = np.stack([r for _, r in entries]) if entries \
+            else np.empty((0, 0))
+        self._generation += 1
+        arrays_name = f"l2-state-{self._generation}.npz"
+        manifest = {
+            "format": L2_FORMAT,
+            "version": L2_VERSION,
+            "entries": len(entries),
+            "generation": self._generation,
+            "output_tail": list(self.output_tail)
+            if self.output_tail is not None else None,
+            "model": self.model_fingerprint,
+            "arrays": arrays_name,
+        }
+        arrays_tmp = self.directory / (".tmp-" + arrays_name)
+        manifest_tmp = self.directory / (".tmp-" + L2_MANIFEST)
+        np.savez(arrays_tmp, payloads=payloads, rows=rows)
+        os.replace(arrays_tmp, self.directory / arrays_name)
+        manifest_tmp.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(manifest_tmp, self.directory / L2_MANIFEST)
+        for stale in self.directory.glob("l2-state-*.npz"):
+            if stale.name != arrays_name:
+                stale.unlink(missing_ok=True)
+        for stale in self.directory.glob(".tmp-*"):
+            stale.unlink(missing_ok=True)
+        return manifest
+
+    def _load(self) -> None:
+        manifest = json.loads(
+            (self.directory / L2_MANIFEST).read_text())
+        if manifest.get("format") != L2_FORMAT:
+            raise ValueError(f"{self.directory} does not hold an L2 "
+                             f"store")
+        if manifest.get("version") != L2_VERSION:
+            raise ValueError(
+                f"L2 store version {manifest.get('version')!r} is not "
+                f"supported (expected {L2_VERSION})")
+        self._generation = int(manifest.get("generation", 0))
+        self.model_fingerprint = manifest.get("model")
+        tail = manifest.get("output_tail")
+        self.output_tail = tuple(int(d) for d in tail) \
+            if tail is not None else None
+        with np.load(self.directory / manifest["arrays"]) as payload:
+            payloads = payload["payloads"]
+            rows = payload["rows"]
+        for position in range(int(manifest["entries"])):
+            p = np.ascontiguousarray(payloads[position],
+                                     dtype=np.float64)
+            self._store[p.tobytes()] = (p, rows[position].copy())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SharedL2Cache(entries={len(self._store)}, "
+                f"capacity={self.capacity}, "
+                f"directory={str(self.directory)!r})")

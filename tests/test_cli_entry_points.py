@@ -156,6 +156,48 @@ class TestReproServeCli:
         assert code == 1
         assert "FAIL hit rate" in capsys.readouterr().out
 
+    def test_tiered_replay_with_parity(self, capsys):
+        # The CI tiered-serving smoke in miniature: LRU eviction on a
+        # churning Zipfian trace, hot-key replication across 2 shards,
+        # every output checked against the per-request oracle.
+        from repro.serving.cli import serve_main
+        code = serve_main(["--shards", "2", "--requests", "80",
+                           "--pool-size", "12", "--traffic", "zipfian",
+                           "--eviction", "lru", "--replicate-top", "4",
+                           "--rotate-every", "20", "--entries", "4",
+                           "--ways", "4", "--parity-check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lru eviction" in out
+        assert "top-4 replication" in out
+        assert "tiering:" in out
+        assert "parity: all 80 outputs byte-identical" in out
+
+    def test_l2_store_round_trip(self, tmp_path, capsys):
+        # First run fills and flushes the shared L2; the second run
+        # opens the same directory warm and reports its entry count.
+        from repro.serving.cli import serve_main
+        l2 = str(tmp_path / "l2")
+        base = ["--requests", "40", "--pool-size", "8",
+                "--eviction", "lru", "--entries", "2", "--ways", "2",
+                "--l2", l2]
+        assert serve_main(base) == 0
+        out = capsys.readouterr().out
+        assert "L2 store flushed" in out
+        assert serve_main(base) == 0
+        out = capsys.readouterr().out
+        assert "shared L2 (" in out
+        assert "0 warm entries" not in out
+
+    def test_tiered_flag_guards(self):
+        from repro.serving.cli import serve_main
+        with pytest.raises(SystemExit):
+            serve_main(["--parallel", "--replicate-top", "4"])
+        with pytest.raises(SystemExit):
+            serve_main(["--parallel", "--l2", "somewhere"])
+        with pytest.raises(SystemExit):
+            serve_main(["--parity-check", "--cache-policy", "none"])
+
 
 class TestReproSweepCli:
     def test_sweep_writes_envelope(self, tmp_path, capsys):

@@ -199,6 +199,93 @@ class TestGoldenWarmStart:
         assert pinned["shards"] == WARM_SHARDS
 
 
+# ----------------------------------------------------------------------
+# Tiered serving: LRU eviction + hot-key replication + shared L2
+# ----------------------------------------------------------------------
+TIERED_GOLDEN_PATH = Path(__file__).parent / "golden" / \
+    "serving_tiered.json"
+TIERED_SHARDS = 2
+# Small, rotating-hot-set trace so every tiering mechanism actually
+# fires: 8 fully-associative lines per shard overflow (evictions), the
+# Zipf head shifts mid-trace (replacement earns hits), and the hottest
+# signatures cross the replication threshold.
+TIERED_TRACE = TrafficConfig(pattern="zipfian", num_requests=160,
+                             zipf_rotate_every=40, seed=11)
+TIERED_POOL_SIZE = 32
+TIERED_POLICY = ServingPolicy(request_cache=True, vector_cache=False,
+                              exact_check=True, compute="per_request",
+                              entries=8, ways=8, eviction="lru",
+                              replicate_top=4)
+
+
+def _tiered_pieces():
+    pool = build_request_pool("squeezenet", pool_size=TIERED_POOL_SIZE,
+                              image_size=12, seed=3)
+    trace = generate_trace(TIERED_TRACE, len(pool))
+    return pool, trace
+
+
+def _tiered_serve():
+    from repro.serving import SharedL2Cache
+    pool, trace = _tiered_pieces()
+    model = build_model("squeezenet", num_classes=4, seed=MODEL_SEED)
+    server = InferenceServer(model, TIERED_POLICY, BATCHER,
+                             shards=TIERED_SHARDS, l2=SharedL2Cache())
+    outputs, report = server.replay(trace, pool)
+    oracle = server.oracle_outputs(pool)
+    return trace, outputs, report, oracle
+
+
+def _tiered_payload() -> dict:
+    trace, outputs, report, oracle = _tiered_serve()
+    identical = sum(
+        1 for request, output in zip(trace, outputs)
+        if np.array_equal(output, oracle[request.pool_index]))
+    return {
+        "shards": TIERED_SHARDS,
+        "trace": trace_summary(trace),
+        "hit_rate": report.hit_rate,
+        "request_cache": report.request_cache,
+        "l2": report.l2,
+        "shard_requests": [row["requests"] for row in report.shard_stats],
+        "bit_identical": identical,
+    }
+
+
+@pytest.fixture(scope="module")
+def tiered_golden() -> dict:
+    payload = _tiered_payload()
+    if os.environ.get("GOLDEN_REGENERATE"):
+        TIERED_GOLDEN_PATH.write_text(json.dumps(payload, indent=2,
+                                                 sort_keys=True) + "\n")
+    assert TIERED_GOLDEN_PATH.exists(), \
+        "golden file missing; run with GOLDEN_REGENERATE=1"
+    return {"current": payload,
+            "pinned": json.loads(TIERED_GOLDEN_PATH.read_text())}
+
+
+class TestGoldenTieredServing:
+    def test_tiered_statistics_match_pinned(self, tiered_golden):
+        assert tiered_golden["current"] == tiered_golden["pinned"]
+
+    def test_tiered_outputs_byte_identical_to_oracle(self):
+        """Eviction/replication/L2 move rows around, never change them."""
+        trace, outputs, _, oracle = _tiered_serve()
+        for request, output in zip(trace, outputs):
+            assert output.tobytes() == \
+                oracle[request.pool_index].tobytes()
+
+    def test_pinned_file_shows_every_tier_working(self, tiered_golden):
+        pinned = tiered_golden["pinned"]
+        assert pinned["bit_identical"] == TIERED_TRACE.num_requests
+        # Capacity pressure really evicted; the hot keys really
+        # replicated; the L2 really caught post-eviction repeats.
+        assert pinned["request_cache"]["evicted"] > 0
+        assert pinned["request_cache"]["replicated"] > 0
+        assert pinned["l2"]["hits"] > 0
+        assert pinned["hit_rate"] > 0.2
+
+
 class TestGoldenServing:
     def test_exact_mode_outputs_byte_identical(self):
         trace, outputs, report, oracle = _serve("request_exact")

@@ -60,6 +60,7 @@ def floors_payload(speedups, parallel_speedup=2.0, usable_cpus=8,
 def test_check_floors_flags_misses():
     payload = floors_payload({"im2col": 2.0, "baseline_memoization": 1.2,
                               "serving_sharded": 2.0,
+                              "serving_tiered": 1.2,
                               "functional_sweep": 3.0})
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
@@ -68,7 +69,8 @@ def test_check_floors_flags_misses():
 
 def test_check_floors_gates_sharded_serving():
     payload = floors_payload({"im2col": 2.0, "baseline_memoization": 2.0,
-                              "serving_sharded": 1.1})
+                              "serving_sharded": 1.1,
+                              "serving_tiered": 1.2})
     failures = check_floors(payload, floor=1.5, sharded_floor=1.2)
     assert len(failures) == 1 and "serving_sharded" in failures[0]
     assert check_floors(payload, floor=1.5, sharded_floor=1.05) == []
@@ -77,13 +79,22 @@ def test_check_floors_gates_sharded_serving():
 def test_check_floors_fails_on_missing_gated_segment():
     # A gated segment disappearing from the payload must not silently
     # disable the gate.
-    payload = floors_payload({"im2col": 2.0, "serving_sharded": 2.0})
+    payload = floors_payload({"im2col": 2.0, "serving_sharded": 2.0,
+                              "serving_tiered": 1.2})
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
     assert "missing" in failures[0]
 
 
-GOOD = {"im2col": 2.0, "baseline_memoization": 2.0, "serving_sharded": 2.0}
+GOOD = {"im2col": 2.0, "baseline_memoization": 2.0,
+        "serving_sharded": 2.0, "serving_tiered": 1.2}
+
+
+def test_check_floors_gates_tiered_serving():
+    payload = floors_payload(dict(GOOD, serving_tiered=1.02))
+    failures = check_floors(payload, floor=1.5, tiered_floor=1.05)
+    assert len(failures) == 1 and "serving_tiered" in failures[0]
+    assert check_floors(payload, floor=1.5, tiered_floor=1.0) == []
 
 
 def test_check_floors_gates_parallel_serving_on_multicore():
@@ -131,7 +142,7 @@ def test_run_suite_artifact_contract():
     assert payload["schema"] == SCHEMA
     expected = {"im2col", "rpq_projection_growth", "hitmap_multiword",
                 "train_step", "conv_group_batching", "serving_reuse",
-                "serving_sharded", "serving_parallel",
+                "serving_sharded", "serving_tiered", "serving_parallel",
                 "baseline_memoization", "functional_sweep"}
     assert set(payload["segments"]) == expected
     assert set(payload["speedups"]) == expected

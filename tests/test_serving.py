@@ -550,12 +550,155 @@ class TestConsistentHashRing:
 
 
 # ----------------------------------------------------------------------
+# Hot-key replication tracking
+# ----------------------------------------------------------------------
+class TestHotKeyTracker:
+    def _tracker(self, **kwargs):
+        from repro.serving.router import HotKeyTracker
+        return HotKeyTracker(**{"top_k": 2, "min_count": 3, **kwargs})
+
+    def test_promotion_is_first_to_threshold_and_sticky(self):
+        tracker = self._tracker()
+        for _ in range(2):
+            assert not tracker.observe(b"hot")
+        assert tracker.observe(b"hot")  # third observation promotes
+        assert tracker.is_replicated(b"hot")
+        # Sticky: membership never flaps, even if other keys get hotter.
+        for _ in range(50):
+            tracker.observe(b"hotter")
+        assert tracker.is_replicated(b"hot")
+        # top_k bounds the replicated set.
+        assert not tracker.observe(b"third-key")
+        assert len(tracker.replicated_keys()) <= 2
+
+    def test_top_k_zero_never_replicates(self):
+        tracker = self._tracker(top_k=0)
+        for _ in range(100):
+            assert not tracker.observe(b"hot")
+
+    def test_spread_round_robins_from_the_ring_owner(self):
+        tracker = self._tracker(min_count=1)
+        tracker.observe(b"hot")
+        shards = 3
+        targets = [tracker.spread(b"hot", home=2, shards=shards)
+                   for _ in range(6)]
+        # Starts at the owner, then cycles every shard deterministically.
+        assert targets == [2, 0, 1, 2, 0, 1]
+
+    def test_count_map_is_bounded(self):
+        tracker = self._tracker(top_k=1, min_count=10, capacity=16)
+        for index in range(200):
+            tracker.observe(f"key-{index}".encode())
+        assert len(tracker._counts) <= 16
+
+    def test_rejects_bad_configs(self):
+        from repro.serving.router import HotKeyTracker
+        with pytest.raises(ValueError):
+            HotKeyTracker(top_k=-1)
+        with pytest.raises(ValueError):
+            HotKeyTracker(top_k=1, min_count=0)
+        with pytest.raises(ValueError):
+            HotKeyTracker(top_k=1, capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Shared L2 tier
+# ----------------------------------------------------------------------
+class TestSharedL2Cache:
+    def test_lookup_is_exact_and_lru_bounded(self, rng):
+        from repro.serving import SharedL2Cache
+        l2 = SharedL2Cache(capacity=2)
+        rows = rng.normal(size=(3, 4))
+        payloads = rng.normal(size=(3, 6))
+        assert l2.lookup(payloads[0]) is None
+        l2.insert(payloads[0], rows[0])
+        l2.insert(payloads[1], rows[1])
+        np.testing.assert_array_equal(l2.lookup(payloads[0]), rows[0])
+        # Inserting a third entry evicts the LRU one (payloads[1]).
+        l2.insert(payloads[2], rows[2])
+        assert len(l2) == 2
+        assert l2.lookup(payloads[1]) is None
+        np.testing.assert_array_equal(l2.lookup(payloads[0]), rows[0])
+        # A byte-different payload never matches.
+        assert l2.lookup(payloads[0] + 1e-16) is None
+
+    def test_flush_and_reload_round_trip(self, rng, tmp_path):
+        from repro.serving import SharedL2Cache
+        donor = SharedL2Cache(directory=tmp_path / "l2")
+        payloads = rng.normal(size=(4, 6))
+        rows = rng.normal(size=(4, 3))
+        donor.bind_model("fingerprint-a")
+        for payload, row in zip(payloads, rows):
+            donor.insert(payload, row, output_tail=(3,))
+        donor.flush()
+        reloaded = SharedL2Cache(directory=tmp_path / "l2")
+        assert len(reloaded) == 4
+        assert reloaded.output_tail == (3,)
+        assert reloaded.model_fingerprint == "fingerprint-a"
+        for payload, row in zip(payloads, rows):
+            np.testing.assert_array_equal(reloaded.lookup(payload), row)
+        # Repeated flushes clean up stale generations.
+        reloaded.flush()
+        reloaded.flush()
+        state_files = list((tmp_path / "l2").glob("l2-state-*.npz"))
+        assert len(state_files) == 1
+        assert not list((tmp_path / "l2").glob(".tmp-*"))
+
+    def test_model_binding_refuses_stale_stores(self, rng, tmp_path):
+        from repro.serving import SharedL2Cache
+        donor = SharedL2Cache(directory=tmp_path / "l2")
+        donor.bind_model("fingerprint-a")
+        donor.insert(rng.normal(size=6), rng.normal(size=3))
+        donor.flush()
+        reloaded = SharedL2Cache(directory=tmp_path / "l2")
+        with pytest.raises(ValueError, match="different model"):
+            reloaded.bind_model("fingerprint-b")
+
+    def test_server_rejects_l2_without_request_cache(self):
+        from repro.serving import SharedL2Cache
+        model = build_model("squeezenet", num_classes=4, seed=3)
+        with pytest.raises(ValueError):
+            InferenceServer(
+                model,
+                ServingPolicy(request_cache=False, vector_cache=True),
+                l2=SharedL2Cache())
+
+    def test_empty_store_flushes_and_reloads(self, tmp_path):
+        from repro.serving import SharedL2Cache
+        SharedL2Cache(directory=tmp_path / "l2").flush()
+        assert len(SharedL2Cache(directory=tmp_path / "l2")) == 0
+
+    def test_flush_requires_a_directory(self):
+        from repro.serving import SharedL2Cache
+        with pytest.raises(RuntimeError, match="no directory"):
+            SharedL2Cache().flush()
+
+
+# ----------------------------------------------------------------------
 # Traffic generation
 # ----------------------------------------------------------------------
 class TestLoadGen:
     def test_traces_are_deterministic(self):
         config = TrafficConfig(pattern="zipfian", num_requests=50, seed=7)
         assert generate_trace(config, 16) == generate_trace(config, 16)
+
+    def test_zipf_rotation_moves_the_hot_set_between_epochs(self):
+        config = TrafficConfig(pattern="zipfian", num_requests=120,
+                               zipf_rotate_every=40, seed=7)
+        trace = generate_trace(config, 30)
+        assert trace == generate_trace(config, 30)  # still deterministic
+        epochs = [trace[0:40], trace[40:80], trace[80:120]]
+        tops = [np.bincount([r.pool_index for r in epoch],
+                            minlength=30).argmax() for epoch in epochs]
+        # The rank→payload rotation gives each epoch its own hot key.
+        assert len(set(tops)) == 3
+        # Stationary config is unchanged by the default knob value.
+        plain = TrafficConfig(pattern="zipfian", num_requests=120, seed=7)
+        assert generate_trace(plain, 30) == generate_trace(
+            TrafficConfig(pattern="zipfian", num_requests=120,
+                          zipf_rotate_every=0, seed=7), 30)
+        with pytest.raises(ValueError, match="zipf_rotate_every"):
+            TrafficConfig(zipf_rotate_every=-1)
 
     @pytest.mark.parametrize("pattern", TRAFFIC_PATTERNS)
     def test_patterns_produce_valid_traces(self, pattern):

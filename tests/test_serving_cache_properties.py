@@ -13,7 +13,11 @@ policy:
   every served row carries the batch index that computed it);
 * **snapshot round trip** — ``state_dict`` → ``load_state_dict`` is
   state-identical: the restored cache reports byte-equal state and
-  behaves identically on arbitrary follow-up traffic.
+  behaves identically on arbitrary follow-up traffic.  The sequence
+  strategy draws the ``eviction`` axis too, so the round trip covers
+  the replacement policies' recency/frequency/segment metadata, and a
+  snapshot taken under one eviction policy must refuse to load into a
+  session running another (the policy fingerprint seals it).
 """
 
 from __future__ import annotations
@@ -56,7 +60,8 @@ def serve_sequences(draw):
         exact_check=draw(st.booleans()),
         admission=draw(st.sampled_from(["always", "frequency", "size"])),
         admission_min_frequency=draw(st.integers(min_value=1, max_value=3)),
-        admission_max_bytes=draw(st.sampled_from([None, 8, 1024])))
+        admission_max_bytes=draw(st.sampled_from([None, 8, 1024])),
+        eviction=draw(st.sampled_from(["none", "lru", "lfu", "slru"])))
     return policy, _pool(seed, pool_size, width), batches
 
 
@@ -138,8 +143,14 @@ def test_snapshot_restore_round_trip_is_state_identical(sequence,
         np.testing.assert_array_equal(arrays[name], arrays2[name],
                                       err_msg=name)
     assert restored.occupancy() == donor.occupancy()
-    np.testing.assert_array_equal(restored._entry_batch,
-                                  donor._entry_batch)
+    # Entry ids renumber densely on a line-order restore (eviction
+    # orphans are dropped), so compare the TTL stamps per live line
+    # rather than the raw append-only array.
+    live = donor.mcache._valid_tag
+    np.testing.assert_array_equal(live, restored.mcache._valid_tag)
+    np.testing.assert_array_equal(
+        restored._entry_batch[restored.mcache._line_entry[live]],
+        donor._entry_batch[donor.mcache._line_entry[live]])
 
     # Behaviour-identical on arbitrary follow-up traffic.
     follow_rng = np.random.default_rng(follow_seed)
@@ -152,3 +163,71 @@ def test_snapshot_restore_round_trip_is_state_identical(sequence,
     np.testing.assert_array_equal(donor_rows, restored_rows)
     assert donor_outcome == restored_outcome
     assert vars(donor.counters) == vars(restored.counters)
+
+
+# ----------------------------------------------------------------------
+# Cross-policy restore: eviction metadata is part of the contract
+# ----------------------------------------------------------------------
+def _driven_cache(eviction: str) -> SignatureResultCache:
+    import pytest  # noqa: F401  (parametrize import kept local)
+    policy = ServingPolicy(request_cache=True, entries=8, ways=4,
+                           signature_bits=16, eviction=eviction)
+    cache = SignatureResultCache(policy)
+    pool = _pool(7, 10, 4)
+    weights = np.random.default_rng(3).normal(size=(4, 3))
+    _drive(cache, pool, [[0, 1, 2, 3], [4, 5, 0, 1], [6, 7, 8, 9]],
+           weights)
+    return cache
+
+
+def test_eviction_snapshot_refuses_ttl_only_policy():
+    """An LRU snapshot cannot silently load into a no-eviction cache.
+
+    The restored session would have lines with no recency metadata (or
+    metadata with no consumer) — the policy fingerprint refuses the
+    pair loudly, in both directions.
+    """
+    import pytest
+
+    lru_meta, lru_arrays = _driven_cache("lru").state_dict()
+    plain_meta, plain_arrays = _driven_cache("none").state_dict()
+
+    into_plain = SignatureResultCache(
+        ServingPolicy(request_cache=True, entries=8, ways=4,
+                      signature_bits=16, eviction="none"))
+    with pytest.raises(ValueError, match="different policy"):
+        into_plain.load_state_dict(lru_meta, lru_arrays)
+
+    into_lru = SignatureResultCache(
+        ServingPolicy(request_cache=True, entries=8, ways=4,
+                      signature_bits=16, eviction="lru"))
+    with pytest.raises(ValueError, match="different policy"):
+        into_lru.load_state_dict(plain_meta, plain_arrays)
+
+    # And across replacement policies: lfu state is not lru state.
+    into_lfu = SignatureResultCache(
+        ServingPolicy(request_cache=True, entries=8, ways=4,
+                      signature_bits=16, eviction="lfu"))
+    with pytest.raises(ValueError, match="different policy"):
+        into_lfu.load_state_dict(lru_meta, lru_arrays)
+
+
+def test_eviction_snapshot_layouts_are_marked():
+    """Snapshots declare their array layout so mixups fail loudly."""
+    lru_meta, _ = _driven_cache("lru").state_dict()
+    plain_meta, _ = _driven_cache("none").state_dict()
+    assert lru_meta["layout"] == "line-order"
+    assert plain_meta["layout"] == "entry-order"
+
+
+def test_missing_eviction_metadata_fails_loudly():
+    """A line-order snapshot without eviction arrays is rejected."""
+    import pytest
+
+    donor = _driven_cache("slru")
+    meta, arrays = donor.state_dict()
+    stripped = {name: value for name, value in arrays.items()
+                if not name.startswith("ev_")}
+    restored = SignatureResultCache(donor.policy)
+    with pytest.raises((ValueError, KeyError)):
+        restored.load_state_dict(meta, stripped)

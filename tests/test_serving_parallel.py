@@ -64,6 +64,28 @@ class TestParallelParity:
         assert sum(row["requests"] for row in report.shard_stats) \
             == len(trace)
 
+    def test_single_worker_matches_in_process_server_exactly(
+            self, model, pool, trace):
+        """workers=1 is the in-process server behind a process hop.
+
+        Identical outputs AND identical ServingReport counters — the
+        worker runtime must add no cache decisions of its own.
+        """
+        single = InferenceServer(model, EXACT, CONFIG, shards=1)
+        reference_outputs, reference = single.replay(trace, pool)
+        with ParallelInferenceServer(model, EXACT, CONFIG, workers=1,
+                                     snapshot_every_batches=0) as parallel:
+            outputs, report = parallel.replay(trace, pool)
+        for ours, theirs in zip(outputs, reference_outputs):
+            assert ours.tobytes() == theirs.tobytes()
+        assert report.requests == reference.requests
+        assert report.batches == reference.batches
+        assert report.hit_rate == reference.hit_rate
+        assert report.request_cache == reference.request_cache
+        assert report.vector_cache == reference.vector_cache
+        assert [row["hit_rate"] for row in report.shard_stats] == \
+            [row["hit_rate"] for row in reference.shard_stats]
+
     def test_workers_stay_warm_across_replays(self, model, pool, trace):
         # Workers persist between replays; the report isolates each
         # replay via counter deltas, so the warm pass reads 100%.
@@ -139,6 +161,18 @@ class TestValidation:
             with pytest.raises(ValueError):
                 ParallelInferenceServer(model, EXACT, CONFIG,
                                         snapshot_dir=tmp_path, **kwargs)
+
+    def test_hot_key_replication_is_rejected(self, model, tmp_path):
+        """Worker processes cannot share replicated rows: fail at
+        construction instead of silently diverging from the in-process
+        replay."""
+        replicating = ServingPolicy(request_cache=True, vector_cache=False,
+                                    exact_check=True,
+                                    compute="per_request",
+                                    replicate_top=4)
+        with pytest.raises(ValueError, match="share memory"):
+            ParallelInferenceServer(model, replicating, CONFIG,
+                                    workers=2, snapshot_dir=tmp_path)
 
     def test_replay_requires_started_workers(self, model, pool, trace,
                                              tmp_path):
