@@ -32,6 +32,9 @@ oracles — the dominant costs this overhaul removed:
   same small cache without and with LRU replacement, comparing the
   simulated compute-bound makespan: replacement keeps the current hot
   set resident where the paper's no-replacement sets stay stuck;
+* instrumented serving — the telemetry segment replays the churn trace
+  bare vs with the event bus + metrics bundle attached; its floor is a
+  *ceiling on overhead* (within ~5% of bare), not a speedup;
 * GIL-bound serving — the parallel segment executes the same replay
   schedule in one process vs four real worker processes
   (:mod:`repro.serving.parallel`) and compares *measured* wall clock.
@@ -390,6 +393,56 @@ def segment_serving_tiered(quick: bool, repeats: int) -> dict:
                     zipf_rotate_every=rotate_every)
 
 
+def segment_serving_telemetry(quick: bool, repeats: int) -> dict:
+    """Telemetry-bus overhead on the serving hot path: the tiered
+    churn replay bare vs with a full :class:`~repro.obs.Telemetry`
+    bundle attached (bus + metrics subscription + window accounting).
+    Emission is a bounded-queue append off the decision path, so the
+    'speedup' here is expected to sit at ~1.0x; its floor gates the
+    instrumented run to within ~5% of the bare one rather than
+    asserting a win."""
+    from repro.analysis.functional_sweep import derive_seed
+    from repro.analysis.serving_sweep import (MODEL_STREAM, POOL_STREAM,
+                                              TRACE_STREAM)
+    from repro.models.registry import build_model
+    from repro.obs import Telemetry
+    from repro.serving import (BatcherConfig, InferenceServer,
+                               ServingPolicy, TrafficConfig,
+                               build_request_pool, generate_trace)
+
+    num_requests = 160 if quick else 480
+    rotate_every = num_requests // 5
+    pool = build_request_pool("squeezenet", pool_size=48, image_size=24,
+                              seed=derive_seed(0, POOL_STREAM))
+    trace = generate_trace(TrafficConfig(pattern="zipfian",
+                                         num_requests=num_requests,
+                                         zipf_rotate_every=rotate_every,
+                                         rate_rps=200000.0,
+                                         seed=derive_seed(0, TRACE_STREAM)),
+                           len(pool))
+
+    def replay_time(observed: bool) -> float:
+        model = build_model("squeezenet", num_classes=4,
+                            seed=derive_seed(0, MODEL_STREAM))
+        policy = ServingPolicy(request_cache=True, vector_cache=False,
+                               exact_check=True, compute="per_request",
+                               entries=8, ways=8)
+        server = InferenceServer(model, policy,
+                                 BatcherConfig(max_batch_size=8,
+                                               max_wait_s=0.001),
+                                 telemetry=Telemetry(window_batches=4)
+                                 if observed else None)
+        start = time.perf_counter()
+        server.replay(trace, pool)
+        return time.perf_counter() - start
+
+    before = min(replay_time(False) for _ in range(max(repeats, 1)))
+    after = min(replay_time(True) for _ in range(max(repeats, 1)))
+    return _segment(before, after, num_requests=num_requests,
+                    pool_size=len(pool), entries=8, ways=8,
+                    traffic="zipfian", zipf_rotate_every=rotate_every)
+
+
 def usable_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
     try:
@@ -474,6 +527,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "serving_reuse": segment_serving_reuse(quick, repeats),
         "serving_sharded": segment_serving_sharded(quick, repeats),
         "serving_tiered": segment_serving_tiered(quick, repeats),
+        "serving_telemetry": segment_serving_telemetry(quick, repeats),
         "serving_parallel": segment_serving_parallel(quick, repeats),
         "baseline_memoization": segment_baseline_memoization(points),
         "functional_sweep": segment_functional_sweep(points),
@@ -493,7 +547,8 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
 def check_floors(payload: dict, floor: float,
                  sharded_floor: float = 1.2,
                  tiered_floor: float = 1.05,
-                 parallel_floor: float = 1.5) -> list[str]:
+                 parallel_floor: float = 1.5,
+                 telemetry_floor: float = 0.95) -> list[str]:
     """The CI gate: im2col and baseline memoization must hold ``floor``;
     the 4-shard serving makespan must beat the single worker by
     ``sharded_floor`` (consistent-hash balance caps it below the ideal
@@ -501,6 +556,9 @@ def check_floors(payload: dict, floor: float,
     the churning trace must beat the no-replacement cache by
     ``tiered_floor`` (the win is a hit-rate delta, typically ~1.1x, so
     its floor only asserts the direction with margin for timer noise);
+    the telemetry-instrumented replay must stay within ~5% of the bare
+    one (``telemetry_floor`` < 1.0 — observability is gated on *not
+    slowing the hot path*, not on winning);
     the measured process-parallel makespan must beat the single process
     by ``parallel_floor`` — scaled down to ``0.6 x usable cores`` on
     hosts with fewer cores than workers, and not gated at all on
@@ -509,7 +567,8 @@ def check_floors(payload: dict, floor: float,
     failures = []
     floors = {"im2col": floor, "baseline_memoization": floor,
               "serving_sharded": sharded_floor,
-              "serving_tiered": tiered_floor}
+              "serving_tiered": tiered_floor,
+              "serving_telemetry": telemetry_floor}
     for name, required in floors.items():
         speedup = payload["speedups"].get(name)
         if speedup is None:
@@ -566,6 +625,10 @@ def main(argv=None) -> int:
                         help="minimum LRU-vs-no-replacement makespan "
                              "speedup on the churning trace for "
                              "--check (default 1.05)")
+    parser.add_argument("--telemetry-floor", type=float, default=0.95,
+                        help="minimum telemetry-on/off replay ratio for "
+                             "--check — gates bus overhead at ~5% "
+                             "(default 0.95)")
     parser.add_argument("--parallel-floor", type=float, default=1.5,
                         help="minimum process-parallel serving speedup "
                              "for --check on hosts with >= 2 usable "
@@ -585,7 +648,8 @@ def main(argv=None) -> int:
         failures = check_floors(payload, args.floor,
                                 sharded_floor=args.sharded_floor,
                                 tiered_floor=args.tiered_floor,
-                                parallel_floor=args.parallel_floor)
+                                parallel_floor=args.parallel_floor,
+                                telemetry_floor=args.telemetry_floor)
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}")

@@ -77,6 +77,8 @@ SERVING_RESULT_KEYS = frozenset({
     "distinct_payloads", "top_key_share",
     "bit_identical_fraction", "max_abs_deviation",
     "compute_time_s", "elapsed_s",
+    "telemetry", "controller", "telemetry_events", "telemetry_dropped",
+    "controller_decisions", "latency_hist_p50_ms", "latency_hist_p99_ms",
 })
 
 # Derived-seed streams (mirrors functional_sweep's convention).
@@ -117,6 +119,12 @@ class ServingPoint:
     # shards as real worker processes and measure the wall-clock
     # makespan (the ``measured_makespan_s`` column).
     parallel_workers: int = 0
+    # Observability axes: ``telemetry`` attaches an event bus + metrics
+    # registry to the replay (adds the telemetry_* and latency_hist_*
+    # columns); ``controller`` additionally runs the online adaptive
+    # policy controller over the telemetry windows.
+    telemetry: bool = False
+    controller: bool = False
     seed: int = 0
 
     def __post_init__(self):
@@ -155,6 +163,13 @@ class ServingPoint:
                 and not CACHE_POLICIES[self.cache_policy]["request_cache"]:
             raise ValueError("replicate_top and l2 act on the request "
                              "cache; pick a request-caching policy")
+        if self.controller and not self.telemetry:
+            raise ValueError("the adaptive controller consumes telemetry "
+                             "windows; set telemetry=True")
+        if self.controller and self.parallel_workers:
+            raise ValueError("the adaptive controller needs the "
+                             "in-process server; it cannot combine with "
+                             "parallel_workers")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
 
@@ -209,12 +224,29 @@ def policy_for(point: ServingPoint) -> ServingPolicy:
                          **CACHE_POLICIES[point.cache_policy])
 
 
-def serving_pieces(point: ServingPoint, l2_store: SharedL2Cache | None = None):
+def telemetry_for(point: ServingPoint):
+    """The observability bundle a point asks for (``None`` when off)."""
+    if not point.telemetry:
+        return None
+    from repro.obs import AdaptivePolicyController, Telemetry
+    return Telemetry(
+        controller=AdaptivePolicyController() if point.controller
+        else None,
+        seeds={"model": derive_seed(point.seed, MODEL_STREAM),
+               "pool": derive_seed(point.seed, POOL_STREAM),
+               "trace": derive_seed(point.seed, TRACE_STREAM)})
+
+
+def serving_pieces(point: ServingPoint,
+                   l2_store: SharedL2Cache | None = None,
+                   telemetry=None):
     """(model, pool, trace, server) for one point, fully seed-derived.
 
     ``l2_store`` substitutes a caller-built L2 (e.g. a disk-backed one
     from ``repro-serve --l2 DIR``) for the in-memory tier the ``l2``
-    axis would otherwise create.
+    axis would otherwise create; ``telemetry`` likewise substitutes a
+    caller-built observability bundle (e.g. one with an audit
+    directory) for the plain one the ``telemetry`` axis creates.
     """
     pool = build_request_pool(point.model, pool_size=point.pool_size,
                               image_size=point.image_size,
@@ -235,7 +267,9 @@ def serving_pieces(point: ServingPoint, l2_store: SharedL2Cache | None = None):
                       max_wait_s=point.max_wait_ms / 1e3),
         shards=point.shards,
         l2=l2_store if l2_store is not None
-        else (SharedL2Cache() if point.l2 else None))
+        else (SharedL2Cache() if point.l2 else None),
+        telemetry=telemetry if telemetry is not None
+        else telemetry_for(point))
     return model, pool, trace, server
 
 
@@ -265,7 +299,8 @@ def evaluate_serving_point(point: ServingPoint) -> dict:
             model, policy_for(point),
             BatcherConfig(max_batch_size=point.batch_size,
                           max_wait_s=point.max_wait_ms / 1e3),
-            workers=point.parallel_workers)
+            workers=point.parallel_workers,
+            telemetry=server.telemetry)
         with parallel:
             outputs, report = parallel.replay(trace, pool)
         compute_time_s = parallel._compute_time_s
@@ -320,6 +355,14 @@ def evaluate_serving_point(point: ServingPoint) -> dict:
         "evicted": int(report.request_cache.get("evicted", 0)),
         "replicated": int(report.request_cache.get("replicated", 0)),
         "l2_hit_rate": float(report.l2.get("hit_rate", 0.0)),
+        # Observability columns: streaming-histogram percentile reads
+        # (0.0 with no latencies) and the event-bus digest (all zero
+        # when the telemetry axis is off).
+        "latency_hist_p50_ms": float(report.latency_hist_p50_ms),
+        "latency_hist_p99_ms": float(report.latency_hist_p99_ms),
+        "telemetry_events": int(report.telemetry.get("events", 0)),
+        "telemetry_dropped": int(report.telemetry.get("dropped", 0)),
+        "controller_decisions": int(report.telemetry.get("decisions", 0)),
     }, started=start)
     return row
 
@@ -394,6 +437,15 @@ def main(argv=None) -> int:
     parser.add_argument("--rotate-every", type=int, default=0,
                         help="zipfian hot-set churn period in requests "
                              "(0 = stationary popularity)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="attach the event bus + metrics registry "
+                             "to every point (fills the telemetry_* "
+                             "and latency_hist_* columns)")
+    parser.add_argument("--controller", action="store_true",
+                        help="also run the online adaptive policy "
+                             "controller per point (implies "
+                             "--telemetry; needs the in-process "
+                             "replay, so it rejects --parallel)")
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--pool-size", type=int, default=24)
     parser.add_argument("--seeds", nargs="+", type=int, default=[0])
@@ -406,6 +458,9 @@ def main(argv=None) -> int:
                         help="write the JSON envelope to this path")
     args = parser.parse_args(argv)
 
+    if args.controller and args.parallel:
+        parser.error("--controller mutates live policy state, which "
+                     "needs the in-process replay; drop --parallel")
     points = build_serving_grid(models=args.models, traffics=args.traffics,
                                 cache_policies=args.cache_policies,
                                 batch_sizes=args.batch_sizes,
@@ -417,6 +472,9 @@ def main(argv=None) -> int:
                                 else (False,),
                                 seeds=args.seeds,
                                 parallel=args.parallel,
+                                telemetry=args.telemetry
+                                or args.controller,
+                                controller=args.controller,
                                 num_requests=args.requests,
                                 pool_size=args.pool_size,
                                 entries=args.entries, ways=args.ways,

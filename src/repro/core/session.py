@@ -236,6 +236,11 @@ class ReuseSession:
         self._evictor = build_eviction_state(policy.eviction,
                                              self.num_sets, policy.ways)
         self.counters = CacheCounters()
+        # Lifetime count of cache resets: flash-mode per-call clears in
+        # training, controller-triggered flushes in serving.  Kept off
+        # CacheCounters on purpose — the counter payloads (and the
+        # golden files pinning them) stay unchanged.
+        self.clears = 0
         # entry id -> micro-batch index of (re)insertion, densely grown
         # alongside the MCACHE's entry ids.
         self._entry_batch = np.empty(0, dtype=np.int64)
@@ -299,6 +304,7 @@ class ReuseSession:
             # The persistent batch MCACHE's simulate() path is "clear,
             # replay, accumulate counters"; mirror it so its stats
             # characterise the run identically.
+            self.clears += 1
             self.mcache.clear()
             for simulation in simulations:
                 self.mcache.stats.hits += simulation.hits
@@ -857,6 +863,7 @@ class ReuseSession:
         return self.mcache.occupancy()
 
     def clear(self) -> None:
+        self.clears += 1
         self.mcache.clear()
         self._entry_batch = np.empty(0, dtype=np.int64)
         self._seen = {}

@@ -1,0 +1,230 @@
+"""Online adaptive policy control over telemetry windows.
+
+The training side adapts continuously (`core/adaptation.py` grows
+signature bits on loss plateaus); this module is the serving-side
+analogue: :class:`AdaptivePolicyController` consumes per-window cache
+telemetry from the event bus and retunes the serving policy as traffic
+drifts.
+
+The flagship move targets the paper's no-replacement capacity model:
+a set-associative cache without eviction pins whatever hot set arrived
+first, so when a Zipfian head rotates (`zipf_rotate_every` traffic)
+the hit rate collapses *permanently* — every new hot key is rejected
+by full sets.  The controller detects the collapse (window hit rate
+falling below ``collapse_ratio`` of the best window since the last
+reset) and issues a ``flash_clear``: one batched invalidation that
+frees the sets for the new hot set, trading one refill window for
+restored steady-state hits.  TTL widening (when expiries churn the
+working set) and admission tightening (when one-shot traffic floods
+inserts that never hit) ride the same window loop, and an optional
+:class:`~repro.core.adaptation.SignatureLengthScheduler` can grow the
+signature length when the hit rate plateaus low.
+
+Decisions are a **pure function of the window sequence**: no clocks,
+no randomness, no hidden state beyond prior windows.  That makes every
+run auditable — :func:`replay_decisions` re-derives the decision list
+from the windows an :class:`~repro.obs.recorder.AuditRecorder`
+persisted, and the test suite pins that the replayed decisions equal
+the recorded ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Knobs of the window-driven policy controller."""
+
+    #: Windows smaller than this are too noisy to act on.
+    min_window_rows: int = 8
+    #: A window whose hit rate falls below ``collapse_ratio`` × the
+    #: best window since the last reset triggers a flash clear.
+    collapse_ratio: float = 0.5
+    #: The best-window reference must itself clear this floor before a
+    #: collapse is actionable (a cache that never hit has nothing to
+    #: restore by clearing).
+    min_reference_hit_rate: float = 0.05
+    #: Windows to sit out after a clear (the refill window hits ~0 by
+    #: construction; reacting to it would clear forever).
+    cooldown_windows: int = 1
+    #: Widen TTL when more than this fraction of a window's rows
+    #: expired out of the cache (the TTL is churning live entries).
+    ttl_expired_fraction: float = 0.25
+    ttl_growth_factor: int = 2
+    max_ttl_batches: int = 256
+    #: Tighten admission to frequency-gating when inserts flood with
+    #: almost no return (one-shot traffic polluting the sets).
+    adapt_admission: bool = False
+    admission_insert_fraction: float = 0.6
+    admission_hit_rate_floor: float = 0.02
+
+    def __post_init__(self):
+        if self.min_window_rows < 0:
+            raise ValueError("min_window_rows cannot be negative")
+        if not 0.0 < self.collapse_ratio < 1.0:
+            raise ValueError("collapse_ratio must be in (0, 1)")
+        if self.cooldown_windows < 0:
+            raise ValueError("cooldown_windows cannot be negative")
+        if self.ttl_growth_factor < 2:
+            raise ValueError("ttl_growth_factor must be at least 2")
+
+
+class AdaptivePolicyController:
+    """Deterministic window-in / decisions-out feedback controller.
+
+    Feed it one window dict per telemetry window (the server does this
+    at window boundaries); it returns the decisions to apply.  Window
+    dicts carry the per-window cache deltas (``rows``, ``hits``,
+    ``hit_rate``, ``inserted``, ``rejected``, ``expired``,
+    ``evicted``) plus the policy knobs active when the window closed
+    (``ttl_batches``, ``admission``, ``eviction``,
+    ``signature_bits``).
+    """
+
+    def __init__(self, config: ControllerConfig | None = None,
+                 scheduler=None):
+        self.config = config or ControllerConfig()
+        #: Optional SignatureLengthScheduler (core/adaptation.py): fed
+        #: ``1 - hit_rate`` as its loss, it grows the signature length
+        #: when the miss rate plateaus.
+        self.scheduler = scheduler
+        self.decisions: list[dict] = []
+        self._reference_hit_rate = 0.0
+        self._cooldown = 0
+        self._windows_seen = 0
+
+    def reset(self) -> None:
+        """Forget all window state; the server calls this per run.
+
+        The scheduler is *not* reset — it has no public rewind, which
+        is why :meth:`describe` (and therefore the audit manifest)
+        captures its initial state before the run starts.
+        """
+        self.decisions = []
+        self._reference_hit_rate = 0.0
+        self._cooldown = 0
+        self._windows_seen = 0
+
+    def describe(self) -> dict:
+        """Manifest-ready self-description.
+
+        Captured at run start (before any window moves the scheduler),
+        so :func:`replay_decisions` can rebuild an identical controller
+        from the manifest alone.
+        """
+        from dataclasses import asdict
+        description = {"config": asdict(self.config)}
+        if self.scheduler is not None:
+            description["scheduler"] = {
+                "initial_bits": self.scheduler.bits,
+                "max_bits": self.scheduler.max_bits,
+                "plateau_iterations": self.scheduler.plateau_iterations,
+                "tolerance": self.scheduler.tolerance,
+            }
+        return description
+
+    def observe_window(self, window: dict) -> list[dict]:
+        """Consume one closed window; return the decisions it triggers."""
+        self._windows_seen += 1
+        config = self.config
+        rows = int(window.get("rows", 0))
+        if rows < config.min_window_rows:
+            return []
+        hit_rate = float(window.get("hit_rate", 0.0))
+        index = window.get("window", self._windows_seen - 1)
+        decided: list[dict] = []
+
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._reference_hit_rate = max(self._reference_hit_rate,
+                                           hit_rate)
+            return []
+
+        # 1. Hit-rate collapse → flash clear (free the pinned stale
+        #    hot set so the rotated head can be admitted).
+        if self._reference_hit_rate >= config.min_reference_hit_rate \
+                and hit_rate < config.collapse_ratio \
+                * self._reference_hit_rate:
+            decided.append({
+                "action": "flash_clear", "window": index,
+                "hit_rate": hit_rate,
+                "reference_hit_rate": self._reference_hit_rate,
+                "reason": "window hit rate collapsed below "
+                          f"{config.collapse_ratio:g}x the best window",
+            })
+            self._reference_hit_rate = 0.0
+            self._cooldown = config.cooldown_windows
+        else:
+            self._reference_hit_rate = max(self._reference_hit_rate,
+                                           hit_rate)
+
+        # 2. TTL churn → widen the TTL.
+        ttl = window.get("ttl_batches")
+        if ttl and int(window.get("expired", 0)) \
+                > config.ttl_expired_fraction * rows:
+            new_ttl = min(config.max_ttl_batches,
+                          int(ttl) * config.ttl_growth_factor)
+            if new_ttl > int(ttl):
+                decided.append({
+                    "action": "ttl", "window": index,
+                    "ttl_batches": new_ttl, "previous": int(ttl),
+                    "reason": "TTL expiries churned more than "
+                              f"{config.ttl_expired_fraction:g} of the "
+                              "window's rows",
+                })
+
+        # 3. Insert flood with no return → frequency-gate admission.
+        if config.adapt_admission \
+                and window.get("admission") == "always" \
+                and hit_rate <= config.admission_hit_rate_floor \
+                and int(window.get("inserted", 0)) \
+                > config.admission_insert_fraction * rows:
+            decided.append({
+                "action": "admission", "window": index,
+                "admission": "frequency", "previous": "always",
+                "reason": "inserts flooded with almost no hits; "
+                          "gating admission on repeat frequency",
+            })
+
+        # 4. Optional: grow the signature length on a low plateau.
+        if self.scheduler is not None:
+            bits = self.scheduler.observe_loss(1.0 - hit_rate)
+            current = window.get("signature_bits")
+            if current is not None and bits != int(current):
+                decided.append({
+                    "action": "signature_bits", "window": index,
+                    "signature_bits": int(bits),
+                    "previous": int(current),
+                    "reason": "miss-rate plateau; growing the RPQ "
+                              "signature length",
+                })
+
+        self.decisions.extend(decided)
+        return decided
+
+
+def replay_decisions(manifest_or_windows,
+                     config: ControllerConfig | None = None,
+                     scheduler=None) -> list[dict]:
+    """Re-derive a run's decisions from its audited windows.
+
+    Accepts an audit manifest dict (uses its ``windows``) or a bare
+    window list.  Because the controller is a pure function of the
+    window sequence, the result must equal the recorded decision list
+    — the reproducibility check the audit manifest exists for.
+    """
+    windows = manifest_or_windows
+    if isinstance(manifest_or_windows, dict):
+        windows = manifest_or_windows.get("windows", [])
+        recorded = manifest_or_windows.get("controller", {})
+        if config is None and recorded.get("config"):
+            config = ControllerConfig(**recorded["config"])
+        if scheduler is None and recorded.get("scheduler"):
+            from repro.core.adaptation import SignatureLengthScheduler
+            scheduler = SignatureLengthScheduler(**recorded["scheduler"])
+    controller = AdaptivePolicyController(config, scheduler)
+    for window in windows:
+        controller.observe_window(window)
+    return controller.decisions

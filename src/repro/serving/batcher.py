@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import LogHistogram
+
 #: Default sample capacity of one telemetry reservoir.  4096 points keep
 #: p50/p99 within a few percent of the exact stream percentiles while
 #: bounding memory at ~32 KiB per metric regardless of uptime.
@@ -128,15 +130,33 @@ class BatcherTelemetry:
     latencies: Reservoir = field(default_factory=Reservoir)
     batch_sizes: Reservoir = field(
         default_factory=lambda: Reservoir(seed=1))
+    #: Streaming log-bucket distribution summaries: exact-rank
+    #: percentiles within bucket-width error at any stream length.
+    #: The reservoirs above stay as the differential oracle (exact
+    #: until saturation; regression-tested against these).
+    latency_hist: LogHistogram = field(default_factory=LogHistogram)
+    batch_size_hist: LogHistogram = field(default_factory=LogHistogram)
+    #: Optional telemetry bus hookup (set by the owning server when
+    #: observability is enabled; ``None`` keeps recording bus-free).
+    bus: object = None
+    source: str = ""
 
     def record_batch(self, size: int) -> None:
         self.batches += 1
         self.rows += int(size)
         self.batch_sizes.record(size)
+        self.batch_size_hist.record(size)
+        if self.bus is not None:
+            self.bus.emit("batcher.batch", source=self.source,
+                          size=int(size))
 
     def record_latency(self, latency_s: float) -> None:
         self.latency_sum_s += float(latency_s)
         self.latencies.record(latency_s)
+        self.latency_hist.record(latency_s)
+        if self.bus is not None:
+            self.bus.emit("batcher.latency", source=self.source,
+                          latency_s=float(latency_s))
 
     def latency_mark(self) -> int:
         """A token for :meth:`latencies_since` (the current count)."""
@@ -174,6 +194,8 @@ class BatcherTelemetry:
             total.latency_sum_s += telemetry.latency_sum_s
             total.latencies.absorb(telemetry.latencies)
             total.batch_sizes.absorb(telemetry.batch_sizes)
+            total.latency_hist.merge(telemetry.latency_hist)
+            total.batch_size_hist.merge(telemetry.batch_size_hist)
         return total
 
 

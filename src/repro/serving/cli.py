@@ -13,8 +13,12 @@ the HTTP front end:
     repro-serve --eviction lru --replicate-top 8 --l2 l2/ --shards 2
     repro-serve --parallel --workers 4                  # real processes
     repro-serve --parallel --workers 4 --kill-worker 1  # crash recovery
+    repro-serve --telemetry                             # event bus on
+    repro-serve --audit runs/ --controller --rotate-every 40
+    repro-serve --audit-read runs/       # print the audit manifest
     repro-serve --http --port 8080 --serve-forever
     repro-serve --http --requests 50     # drive the trace over HTTP
+    repro-serve --http --telemetry       # ... and scrape GET /metrics
 
 ``--snapshot-to`` writes the cache state after the replay;
 ``--warm-start`` restores it before serving, so a restarted server
@@ -28,8 +32,13 @@ outputs and hit counters.  ``--eviction``/``--replicate-top``/``--l2``
 turn on the cache-tiering stack (replacement policies, hot-key
 replication, shared L2); without ``--parallel``, ``--parity-check``
 asserts every served output is byte-identical to the per-request
-oracle (the CI tiered-serving smoke).  Installed by ``setup.py``
-(``console_scripts``); equally runnable as ``python -m
+oracle (the CI tiered-serving smoke).  ``--telemetry`` attaches the
+:mod:`repro.obs` event bus and metrics registry (and, with ``--http``,
+the ``GET /metrics`` Prometheus endpoint); ``--audit DIR`` persists a
+versioned run manifest there (``--audit-read DIR`` prints one back);
+``--controller`` runs the online adaptive policy controller over
+``--controller-window``-batch telemetry windows.  Installed by
+``setup.py`` (``console_scripts``); equally runnable as ``python -m
 repro.serving.cli``.
 """
 
@@ -69,6 +78,21 @@ def _print_report(report) -> None:
         print(f"{report.shards} shards ({shares})")
 
 
+def _print_telemetry(args, report) -> None:
+    if not report.telemetry:
+        return
+    digest = report.telemetry
+    print(f"telemetry: {digest['events']} events "
+          f"({digest['dropped']} dropped), histogram latency p50 "
+          f"{report.latency_hist_p50_ms:.2f} ms / p99 "
+          f"{report.latency_hist_p99_ms:.2f} ms"
+          + (f", {digest['decisions']} controller decisions"
+             if args.controller else ""))
+    if args.audit:
+        print(f"audit manifest written to {args.audit} "
+              f"(read back with --audit-read {args.audit})")
+
+
 def _parallel_main(args, point, pool, trace, server) -> int:
     """The ``--parallel`` replay: real workers, supervised recovery."""
     from repro.analysis.serving_sweep import policy_for
@@ -87,10 +111,11 @@ def _parallel_main(args, point, pool, trace, server) -> int:
         BatcherConfig(max_batch_size=point.batch_size,
                       max_wait_s=point.max_wait_ms / 1e3),
         workers=args.workers, snapshot_every_batches=args.snapshot_every,
-        fault=fault)
+        fault=fault, telemetry=server.telemetry)
     with parallel:
         outputs, report = parallel.replay(trace, pool)
     _print_report(report)
+    _print_telemetry(args, report)
     print(f"{args.workers} worker processes: measured makespan "
           f"{report.measured_makespan_s:.3f}s, "
           f"{report.recoveries} recover"
@@ -195,6 +220,21 @@ def serve_main(argv=None) -> int:
                              "served output is byte-identical to the "
                              "engine-less per-request oracle (needs "
                              "--cache-policy request_exact)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="attach the repro.obs event bus + metrics "
+                             "registry to the run")
+    parser.add_argument("--audit", default=None, metavar="DIR",
+                        help="persist a versioned audit manifest of the "
+                             "run under DIR (implies --telemetry)")
+    parser.add_argument("--audit-read", default=None, metavar="DIR",
+                        help="print the audit manifest found under DIR "
+                             "and exit")
+    parser.add_argument("--controller", action="store_true",
+                        help="retune TTL/admission online from telemetry "
+                             "windows (implies --telemetry)")
+    parser.add_argument("--controller-window", type=int, default=4,
+                        metavar="N",
+                        help="telemetry window size in micro-batches")
     parser.add_argument("--http", action="store_true",
                         help="expose the stdlib HTTP front end")
     parser.add_argument("--port", type=int, default=0,
@@ -202,6 +242,13 @@ def serve_main(argv=None) -> int:
     parser.add_argument("--serve-forever", action="store_true",
                         help="with --http: block until interrupted")
     args = parser.parse_args(argv)
+    if args.audit_read:
+        from repro.obs import read_manifest, render_manifest
+        print(render_manifest(read_manifest(args.audit_read)))
+        return 0
+    if args.controller and args.parallel:
+        parser.error("--controller retunes the in-process server's "
+                     "caches; it cannot be combined with --parallel")
     if args.parallel and args.http:
         parser.error("--parallel serves the replay path; it cannot be "
                      "combined with --http")
@@ -223,6 +270,21 @@ def serve_main(argv=None) -> int:
     if args.l2 is not None:
         from repro.serving.tiering import SharedL2Cache
         l2_store = SharedL2Cache(directory=args.l2)
+    telemetry = None
+    if args.telemetry or args.audit or args.controller:
+        from repro.analysis.functional_sweep import derive_seed
+        from repro.analysis.serving_sweep import (MODEL_STREAM,
+                                                  POOL_STREAM,
+                                                  TRACE_STREAM)
+        from repro.obs import AdaptivePolicyController, Telemetry
+        telemetry = Telemetry(
+            audit_dir=args.audit,
+            controller=AdaptivePolicyController() if args.controller
+            else None,
+            window_batches=args.controller_window,
+            seeds={"model": derive_seed(args.seed, MODEL_STREAM),
+                   "pool": derive_seed(args.seed, POOL_STREAM),
+                   "trace": derive_seed(args.seed, TRACE_STREAM)})
     point = ServingPoint(model=args.model, traffic=args.traffic,
                          cache_policy=args.cache_policy,
                          batch_size=args.batch_size,
@@ -234,8 +296,11 @@ def serve_main(argv=None) -> int:
                          eviction=args.eviction,
                          replicate_top=args.replicate_top,
                          l2=args.l2 is not None,
-                         rotate_every=args.rotate_every, seed=args.seed)
-    _, pool, trace, server = serving_pieces(point, l2_store=l2_store)
+                         rotate_every=args.rotate_every,
+                         telemetry=telemetry is not None,
+                         controller=args.controller, seed=args.seed)
+    _, pool, trace, server = serving_pieces(point, l2_store=l2_store,
+                                            telemetry=telemetry)
     tiering = ""
     if args.eviction != "none" or args.replicate_top or args.l2:
         pieces = [f"{args.eviction} eviction"]
@@ -260,6 +325,7 @@ def serve_main(argv=None) -> int:
         before = server.cache_counters()
         outputs, report = server.replay(trace, pool)
         _print_report(report)
+        _print_telemetry(args, report)
         if report.request_cache.get("evicted") \
                 or report.request_cache.get("replicated"):
             print(f"tiering: {report.request_cache.get('evicted', 0)} "
@@ -354,6 +420,14 @@ def serve_main(argv=None) -> int:
               f"{stats['hit_rate']:.2%}, mean batch size "
               f"{stats['mean_batch_size']:.2f}, p99 "
               f"{stats['latency_p99_ms']:.2f} ms")
+        if telemetry is not None:
+            with urllib.request.urlopen(front.url("/metrics"),
+                                        timeout=10) as response:
+                exposition = response.read().decode("utf-8")
+            samples = [line for line in exposition.splitlines()
+                       if line and not line.startswith("#")]
+            print(f"GET /metrics: {len(samples)} samples, e.g. "
+                  + "; ".join(samples[:2]))
         return 0
     finally:
         front.stop()

@@ -141,6 +141,11 @@ class ServingReuseEngine:
         self.hasher = RPQHasher(seed=self.policy.rpq_seed)
         self.stats = ReuseStats()
         self.batch_index = 0
+        # Optional telemetry bus hookup (set by the owning server):
+        # ``end_batch`` emits the batch's vector-counter deltas.
+        self.bus = None
+        self.source = ""
+        self._last_counters: dict | None = None
         self._caches: dict[tuple[str, int], SignatureResultCache] = {}
         # The weights operand each stream was populated against.  A
         # cached row is only valid while the layer multiplies by the
@@ -250,6 +255,15 @@ class ServingReuseEngine:
     def end_batch(self) -> None:
         """Advance the TTL clock; call once per processed micro-batch."""
         self.batch_index += 1
+        if self.bus is not None:
+            current = self.counters().to_dict()
+            previous = self._last_counters or {}
+            delta = {key: current.get(key, 0) - previous.get(key, 0)
+                     for key in current if key != "hit_rate"}
+            self._last_counters = current
+            if any(delta.values()):
+                self.bus.emit("serve.vector_batch", source=self.source,
+                              batch=self.batch_index, counters=delta)
 
     def end_iteration(self, loss: float | None = None) -> None:
         """Interface parity with the training engines (no adaptation)."""

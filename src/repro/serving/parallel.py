@@ -46,6 +46,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import Telemetry
+from repro.obs.bus import Event
+from repro.obs.metrics import LogHistogram
 from repro.serving.batcher import BatcherConfig
 from repro.serving.engine import ServingPolicy
 from repro.serving.loadgen import Request
@@ -84,15 +87,21 @@ class FaultInjection:
 
 def _worker_main(index: int, model, policy: ServingPolicy,
                  batcher_config: BatcherConfig, snapshot_dir: str,
-                 snapshot_every_batches: int, fault: FaultInjection | None,
-                 tasks, results) -> None:
+                 snapshot_every_batches: int, telemetry_window: int,
+                 fault: FaultInjection | None, tasks, results) -> None:
     """One shard worker: a single-shard server fed batches over a queue.
 
     Module-level (spawn-picklable) on purpose.  Protocol — requests:
     ``("batch", seq, stacked_payloads)``, ``("stats",)``,
     ``("snapshot",)``, ``("exit",)``; replies: ``("ready", watermark)``
-    once at startup, then ``("done", seq, outputs, compute_s)``,
+    once at startup, then ``("done", seq, outputs, compute_s, events)``,
     ``("stats", payload)`` and ``("snapshotted", batch_count)``.
+
+    ``telemetry_window`` > 0 switches on a worker-local telemetry
+    bundle: the batch's events are drained off a forwarding
+    subscription and ride the ack home as ``(kind, source, payload)``
+    tuples (the ``events`` slot — an empty list with telemetry off),
+    where the supervisor re-emits them onto its own bus.
 
     The worker snapshots its cache state every
     ``snapshot_every_batches`` acked batches — *after* the ack, so the
@@ -100,7 +109,12 @@ def _worker_main(index: int, model, policy: ServingPolicy,
     received, and re-dispatching from the watermark can only replay
     batches whose state the restored cache has not yet absorbed.
     """
-    server = InferenceServer(model, policy, batcher_config, shards=1)
+    telemetry = Telemetry(window_batches=telemetry_window) \
+        if telemetry_window else None
+    server = InferenceServer(model, policy, batcher_config, shards=1,
+                             telemetry=telemetry)
+    forward = telemetry.bus.subscribe(name="forward") \
+        if telemetry is not None else None
     path = Path(snapshot_dir)
     watermark = 0
     if (path / SNAPSHOT_MANIFEST).exists():
@@ -139,7 +153,9 @@ def _worker_main(index: int, model, policy: ServingPolicy,
         outputs = server._process_shard_batch(shard, list(stacked))
         compute_s = time.perf_counter() - compute_start
         shard.batcher.telemetry.record_batch(len(stacked))
-        results.put(("done", seq, np.stack(outputs), compute_s))
+        events = [event.as_tuple() for event in forward.drain()] \
+            if forward is not None else []
+        results.put(("done", seq, np.stack(outputs), compute_s, events))
         batches_done += 1
         if snapshot_every_batches \
                 and batches_done % snapshot_every_batches == 0:
@@ -237,7 +253,14 @@ class ParallelInferenceServer:
                  batcher: BatcherConfig | None = None, workers: int = 4,
                  snapshot_dir=None, snapshot_every_batches: int = 8,
                  worker_timeout_s: float = 60.0, max_respawns: int = 3,
-                 fault: FaultInjection | None = None):
+                 fault: FaultInjection | None = None, telemetry=None):
+        if telemetry is not None and telemetry.controller is not None:
+            # Each worker owns its caches in another process; the
+            # supervisor cannot retune them mid-replay, so online
+            # policy control is an in-process-server feature.
+            raise ValueError("the adaptive policy controller needs the "
+                             "in-process server; run the parallel "
+                             "server with a controller-less Telemetry")
         if workers <= 0:
             raise ValueError("workers must be positive")
         if snapshot_every_batches < 0:
@@ -261,6 +284,7 @@ class ParallelInferenceServer:
         self.worker_timeout_s = worker_timeout_s
         self.max_respawns = max_respawns
         self.fault = fault
+        self.telemetry = telemetry
         self.recoveries = 0
 
         self._front = InferenceServer(model, self.policy,
@@ -289,7 +313,9 @@ class ParallelInferenceServer:
             directory.mkdir(parents=True, exist_ok=True)
             spawn_args = (index, self.model, self.policy,
                           self.batcher_config, str(directory),
-                          self.snapshot_every_batches)
+                          self.snapshot_every_batches,
+                          self.telemetry.window_batches
+                          if self.telemetry is not None else 0)
             self._workers.append(_Worker(index, spawn_args, self._context,
                                          self.fault))
         for worker in self._workers:
@@ -372,9 +398,20 @@ class ParallelInferenceServer:
         self.recoveries += 1
         for reply in worker.respawn():
             if reply[0] == "done":
-                acked[(worker.index, reply[1])] = (reply[2], reply[3])
+                acked[(worker.index, reply[1])] = (reply[2], reply[3],
+                                                   reply[4])
         watermark = worker.wait_ready(self.worker_timeout_s)
         resume_from = max(0, watermark - base)
+        if self.telemetry is not None:
+            self.telemetry.bus.emit(
+                "worker.recovered", source="supervisor",
+                worker=worker.index, generation=worker.generation,
+                resumed_from=resume_from)
+            if self.telemetry.recorder is not None:
+                self.telemetry.recorder.record_event(
+                    "worker.recovered", worker=worker.index,
+                    generation=worker.generation,
+                    resumed_from=resume_from)
         for seq, _members, stacked in plan:
             if seq >= resume_from:
                 worker.tasks.put(("batch", seq, stacked))
@@ -392,6 +429,7 @@ class ParallelInferenceServer:
         if self._workers is None:
             raise RuntimeError("workers are not running "
                                "(use `with server:` or call start())")
+        self._begin_run("parallel_replay", requests=len(trace))
         front = self._front
         arrivals = np.array([request.arrival_s for request in trace])
         order = np.argsort(arrivals, kind="stable")
@@ -448,7 +486,7 @@ class ParallelInferenceServer:
                         key = (worker.index, reply[1])
                         if key not in acked:
                             received[worker.index] += 1
-                        acked[key] = (reply[2], reply[3])
+                        acked[key] = (reply[2], reply[3], reply[4])
                         progress_at[worker.index] = time.perf_counter()
                         advanced = True
             if advanced:
@@ -476,17 +514,78 @@ class ParallelInferenceServer:
         total_batches = 0
         for index, plan in enumerate(plans):
             for seq, members, _stacked in plan:
-                batch_outputs, compute_s = acked[(index, seq)]
+                batch_outputs, compute_s, events = acked[(index, seq)]
                 total_batches += 1
                 self._compute_time_s += compute_s
                 for position, k in enumerate(members):
                     outputs[k] = np.asarray(batch_outputs[position])
                     latencies.append(compute_s)
+                # Forwarded worker telemetry replays here, once per
+                # batch in plan order — a re-executed batch's duplicate
+                # ack overwrote its slot, so the event stream the
+                # supervisor's bus sees is deterministic.
+                if self.telemetry is not None:
+                    for kind, source, payload in events:
+                        self._forward_event(index, kind, source, payload)
 
         final = {row["shard"]: row for row in self._collect_stats()}
         report = self._build_report(len(trace), total_batches, makespan,
                                     latencies, baseline, final)
+        self._finalize_run(report)
         return outputs, report
+
+    def _forward_event(self, worker_index: int, kind: str, source: str,
+                       payload: dict) -> None:
+        """Re-emit one worker event onto the supervisor's bus.
+
+        Workers run single-shard servers, so their events arrive
+        labelled ``shard0``; relabelling with the worker index makes
+        the merged stream indistinguishable from the in-process
+        sharded server's (the workers=1 parity test pins the resulting
+        metrics registries equal).
+        """
+        if source.startswith("shard"):
+            source = f"shard{worker_index}"
+        payload = dict(payload)
+        if "shard" in payload:
+            payload["shard"] = worker_index
+        elif kind == "serve.window":
+            # Worker windows are per-worker (the supervisor never sees
+            # a global window); tag the origin.
+            payload["worker"] = worker_index
+        self.telemetry.bus.emit_event(Event(kind, source, payload))
+        if kind == "serve.window" and self.telemetry.recorder is not None:
+            self.telemetry.recorder.record_window(payload)
+
+    def _begin_run(self, kind: str, **extra) -> None:
+        if self.telemetry is None or self.telemetry.recorder is None:
+            return
+        front = self._front
+        self.telemetry.recorder.begin_run(
+            kind=kind,
+            config={
+                "policy": front._policy_fingerprint(),
+                "model": front._model_fingerprint(),
+                "workers": self.num_workers,
+                "batcher": {
+                    "max_batch_size": self.batcher_config.max_batch_size,
+                    "max_wait_s": self.batcher_config.max_wait_s,
+                },
+                "window_batches": self.telemetry.window_batches,
+            },
+            seeds=self.telemetry.seeds, **extra)
+
+    def _finalize_run(self, report: ServingReport) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.pump()
+        if self.telemetry.recorder is not None:
+            self.telemetry.recorder.finalize({
+                "requests": report.requests,
+                "batches": report.batches,
+                "hit_rate": report.hit_rate,
+                **self.telemetry.summary(),
+            })
 
     def _build_report(self, requests: int, batches: int, makespan: float,
                       latencies, baseline: dict, final: dict
@@ -518,6 +617,9 @@ class ParallelInferenceServer:
         quantiles_source = np.asarray(latencies, dtype=np.float64) * 1e3
         percentile = (lambda q: float(np.percentile(quantiles_source, q))) \
             if len(quantiles_source) else (lambda q: 0.0)
+        latency_hist = LogHistogram()
+        if len(latencies):
+            latency_hist.record_many(latencies)
         shard_stats = []
         for index in sorted(final):
             row, before = final[index], baseline.get(index, {})
@@ -546,4 +648,10 @@ class ParallelInferenceServer:
             and not has_request_cache else {},
             hit_rate=hit_rate, shards=self.num_workers,
             shard_stats=shard_stats, measured_makespan_s=makespan,
-            recoveries=self.recoveries)
+            recoveries=self.recoveries,
+            latency_hist_p50_ms=latency_hist.percentile(50) * 1e3
+            if latency_hist.count else 0.0,
+            latency_hist_p99_ms=latency_hist.percentile(99) * 1e3
+            if latency_hist.count else 0.0,
+            telemetry=self.telemetry.summary()
+            if self.telemetry is not None else {})

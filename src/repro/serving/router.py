@@ -134,6 +134,10 @@ class HotKeyTracker:
         self._counts: dict[bytes, int] = {}
         # key -> next round-robin offset (0 = the ring owner).
         self._replicated: dict[bytes, int] = {}
+        # Optional telemetry bus (attached by the owning server when
+        # observability is on); promotions are rare, so the emission
+        # cost is negligible and off the common observe() path.
+        self.bus = None
 
     def observe(self, key: bytes) -> bool:
         """Count one request for ``key``; True if it is replicated."""
@@ -145,6 +149,10 @@ class HotKeyTracker:
         if count >= self.min_count and len(self._replicated) < self.top_k:
             self._counts.pop(key, None)
             self._replicated[key] = 0
+            if self.bus is not None:
+                self.bus.emit("router.promote", source="router",
+                              count=count,
+                              replicated=len(self._replicated))
             return True
         self._counts[key] = count
         if len(self._counts) > self.capacity:

@@ -59,6 +59,7 @@ import numpy as np
 
 from repro.core.rpq import RPQHasher
 from repro.core.session import CacheCounters
+from repro.obs.metrics import LogHistogram
 from repro.serving.batcher import (BatcherConfig, BatcherTelemetry,
                                    MicroBatcher)
 from repro.serving.engine import (ServingPolicy, ServingReuseEngine,
@@ -105,6 +106,15 @@ class ServingReport:
     recoveries: int = 0
     # Shared-L2 telemetry (empty when no L2 tier is attached).
     l2: dict = field(default_factory=dict)
+    # Streaming log-bucket percentile reads: exact in rank, within one
+    # bucket (<10% relative) in value at any stream length — the
+    # reservoir-based latency_p* fields above remain the differential
+    # oracle the regression suite compares against.
+    latency_hist_p50_ms: float = 0.0
+    latency_hist_p99_ms: float = 0.0
+    # Event-bus digest (empty when telemetry is off): emitted/dropped
+    # event counts and applied controller decisions.
+    telemetry: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -126,7 +136,21 @@ class ServingReport:
             "measured_makespan_s": self.measured_makespan_s,
             "recoveries": self.recoveries,
             "l2": self.l2,
+            "latency_hist_p50_ms": self.latency_hist_p50_ms,
+            "latency_hist_p99_ms": self.latency_hist_p99_ms,
+            "telemetry": self.telemetry,
         }
+
+
+#: Cache-counter fields shipped as per-batch deltas on ``serve.batch``
+#: events (everything on CacheCounters except the derived rates).
+_DELTA_KEYS = ("requests", "cross_hits", "intra_hits", "computed",
+               "inserted", "rejected", "expired", "collisions",
+               "evicted", "replicated")
+
+
+def _counter_values(counters: CacheCounters) -> tuple:
+    return tuple(getattr(counters, key) for key in _DELTA_KEYS)
 
 
 def _percentiles_ms(latencies_s) -> dict:
@@ -182,13 +206,18 @@ class InferenceServer:
 
     def __init__(self, model, policy: ServingPolicy | None = None,
                  batcher: BatcherConfig | None = None, shards: int = 1,
-                 l2=None):
+                 l2=None, telemetry=None):
         if shards <= 0:
             raise ValueError("shards must be positive")
         self.model = model
         self.policy = policy or ServingPolicy()
         self.batcher_config = batcher or BatcherConfig()
         self.num_shards = shards
+        # Observability is strictly opt-in: with ``telemetry=None``
+        # (a repro.obs.Telemetry bundle otherwise) every emission site
+        # below is a single ``is not None`` check — provably inert.
+        self.telemetry = telemetry
+        self.bus = telemetry.bus if telemetry is not None else None
         model.eval()
 
         self._ring = ConsistentHashRing(shards)
@@ -209,6 +238,23 @@ class InferenceServer:
         self.l2 = l2
         self.shards = [_Shard(index, self) for index in range(shards)]
         model.set_engine(self.shards[0].vector_engine)
+
+        if self.bus is not None:
+            for shard in self.shards:
+                shard.batcher.telemetry.bus = self.bus
+                shard.batcher.telemetry.source = f"shard{shard.index}"
+                if shard.vector_engine is not None:
+                    shard.vector_engine.bus = self.bus
+                    shard.vector_engine.source = f"shard{shard.index}"
+            if self._hot is not None:
+                self._hot.bus = self.bus
+            if l2 is not None:
+                l2.bus = self.bus
+        # Controller/audit window accumulation (telemetry-only state).
+        self._window_index = 0
+        self._window_batches = 0
+        self._window_delta: dict[str, int] = {}
+        self._clears_applied = 0
 
         self._output_tail: tuple | None = None
         self._compute_time_s = 0.0
@@ -310,6 +356,12 @@ class InferenceServer:
             # shard's per-layer caches private.
             self.model.set_engine(shard.vector_engine)
         stacked = np.stack([np.asarray(p) for p in payloads])
+        observing = self.bus is not None
+        if observing:
+            counters_before = _counter_values(shard.request_cache.counters) \
+                if shard.request_cache is not None else None
+            l2_before = (self.l2.hits, self.l2.misses, self.l2.inserts) \
+                if self.l2 is not None else None
         if shard.request_cache is not None:
             flat = np.asarray(stacked, dtype=np.float64).reshape(
                 len(stacked), -1)
@@ -329,8 +381,181 @@ class InferenceServer:
             shard.vector_engine.end_batch()
         shard.batch_index += 1
         shard.batch_count += 1
+        if observing:
+            self._observe_batch(shard, len(payloads), counters_before,
+                                l2_before)
         tail = self._output_tail or (rows.shape[1],)
         return [row.reshape(tail) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Telemetry emission + window/controller loop (bus-enabled only)
+    # ------------------------------------------------------------------
+    def _observe_batch(self, shard: _Shard, rows: int, counters_before,
+                       l2_before) -> None:
+        """Emit this batch's events and advance the telemetry window.
+
+        Runs strictly *after* every cache decision of the batch — the
+        emissions cannot perturb them, which is what keeps telemetry-on
+        replays byte-identical to the oracle.
+        """
+        payload: dict = {"shard": shard.index,
+                         "batch": shard.batch_index - 1, "rows": rows}
+        if counters_before is not None:
+            after = _counter_values(shard.request_cache.counters)
+            payload["counters"] = {
+                key: int(now - before) for key, now, before
+                in zip(_DELTA_KEYS, after, counters_before)}
+        if l2_before is not None:
+            payload["l2_hits"] = self.l2.hits - l2_before[0]
+            payload["l2_misses"] = self.l2.misses - l2_before[1]
+            payload["l2_inserts"] = self.l2.inserts - l2_before[2]
+        self.bus.emit("serve.batch", source=f"shard{shard.index}",
+                      **payload)
+
+        delta = payload.get("counters")
+        if delta is not None:
+            window = self._window_delta
+            for key, value in delta.items():
+                window[key] = window.get(key, 0) + value
+        self._window_batches += 1
+        if self._window_batches >= self.telemetry.window_batches:
+            self._close_window()
+
+    def _active_policy(self):
+        """The policy live on the caches (the controller may have
+        retuned it past the constructor-time ``self.policy``)."""
+        if self.shards[0].request_cache is not None:
+            return self.shards[0].request_cache.policy
+        return self.policy
+
+    def _close_window(self) -> None:
+        delta = self._window_delta
+        rows = delta.get("requests", 0)
+        hits = delta.get("cross_hits", 0) + delta.get("intra_hits", 0)
+        policy = self._active_policy()
+        window = {
+            "window": self._window_index,
+            "batches": self._window_batches,
+            "rows": rows,
+            "hits": hits,
+            "hit_rate": hits / rows if rows else 0.0,
+            "computed": delta.get("computed", 0),
+            "inserted": delta.get("inserted", 0),
+            "rejected": delta.get("rejected", 0),
+            "expired": delta.get("expired", 0),
+            "evicted": delta.get("evicted", 0),
+            "ttl_batches": policy.ttl_batches,
+            "admission": policy.admission,
+            "eviction": policy.eviction,
+            "signature_bits": policy.signature_bits,
+        }
+        self._window_index += 1
+        self._window_batches = 0
+        self._window_delta = {}
+        self.bus.emit("serve.window", source="server", **window)
+        telemetry = self.telemetry
+        if telemetry.recorder is not None:
+            telemetry.recorder.record_window(window)
+        if telemetry.controller is not None:
+            for decision in telemetry.controller.observe_window(window):
+                self._apply_decision(decision)
+                self.bus.emit("controller.decision", source="controller",
+                              **decision)
+                if telemetry.recorder is not None:
+                    telemetry.recorder.record_decision(decision)
+        telemetry.pump()
+
+    def _apply_decision(self, decision: dict) -> None:
+        """Retune the live caches per one controller decision.
+
+        Under ``request_exact``+``per_request`` none of these actions
+        can break byte-identity: they only move which rows are cached,
+        and the exact check verifies payload bytes before any reuse.
+        """
+        action = decision["action"]
+        caches = [shard.request_cache for shard in self.shards
+                  if shard.request_cache is not None]
+        if action == "flash_clear":
+            for cache in caches:
+                cache.clear()
+            self._clears_applied += len(caches)
+            self.bus.emit("session.clear", source="controller",
+                          clears=len(caches))
+        elif action == "ttl":
+            for cache in caches:
+                cache.policy = cache.policy.replace(
+                    ttl_batches=decision["ttl_batches"])
+        elif action == "admission":
+            for cache in caches:
+                cache.policy = cache.policy.replace(
+                    admission=decision["admission"])
+        elif action == "signature_bits":
+            # New signature length invalidates every stored signature:
+            # swap the policy and clear (the session hashes with
+            # ``policy.signature_bits`` per call, so the next batch
+            # probes at the new length).  Routing keeps the original
+            # bits — it only distributes load.
+            for cache in caches:
+                cache.policy = cache.policy.replace(
+                    signature_bits=decision["signature_bits"])
+                cache.clear()
+            self.bus.emit("session.clear", source="controller",
+                          clears=len(caches))
+        else:  # pragma: no cover — controller and server move together
+            raise ValueError(f"unknown controller action {action!r}")
+
+    def _begin_run(self, kind: str, **extra) -> None:
+        """Open one audited run (replay / serve_trace) on the recorder.
+
+        Resets the window accumulators and the controller so every run
+        observes windows from a clean state — which is what makes the
+        recorded decision stream reproducible from the manifest alone
+        (``repro.obs.controller.replay_decisions``).  No-op when
+        telemetry is off.
+        """
+        if self.telemetry is None:
+            return
+        self._window_index = 0
+        self._window_batches = 0
+        self._window_delta = {}
+        controller = self.telemetry.controller
+        if controller is not None:
+            controller.reset()
+        recorder = self.telemetry.recorder
+        if recorder is not None:
+            header = {
+                "kind": kind,
+                "config": {
+                    "policy": self._policy_fingerprint(),
+                    "model": self._model_fingerprint(),
+                    "shards": self.num_shards,
+                    "batcher": {
+                        "max_batch_size":
+                            self.batcher_config.max_batch_size,
+                        "max_wait_s": self.batcher_config.max_wait_s,
+                    },
+                    "window_batches": self.telemetry.window_batches,
+                },
+                "seeds": self.telemetry.seeds,
+            }
+            if controller is not None:
+                header["controller"] = controller.describe()
+            header.update(extra)
+            recorder.begin_run(**header)
+
+    def _finalize_run(self, report: "ServingReport") -> None:
+        """Close the audited run: drain the bus and commit the manifest."""
+        if self.telemetry is None:
+            return
+        self.telemetry.pump()
+        recorder = self.telemetry.recorder
+        if recorder is not None:
+            recorder.finalize({
+                "requests": report.requests,
+                "batches": report.batches,
+                "hit_rate": report.hit_rate,
+                **self.telemetry.summary(),
+            })
 
     def _compute_rows_l2(self, stacked: np.ndarray, flat: np.ndarray,
                          indices) -> np.ndarray:
@@ -412,6 +637,7 @@ class InferenceServer:
         admit it (the saturation regime).  Returns the per-request
         outputs in trace order plus a wall-clock report.
         """
+        self._begin_run("serve_trace", requests=len(trace))
         start = time.perf_counter()
         marks = [shard.batcher.telemetry.latency_mark()
                  for shard in self.shards]
@@ -440,7 +666,9 @@ class InferenceServer:
             [shard.batcher.telemetry.latencies_since(mark)
              for shard, mark in zip(self.shards, marks)]) \
             if self.shards else np.empty(0)
-        return outputs, self._report(len(trace), duration, latencies)
+        report = self._report(len(trace), duration, latencies)
+        self._finalize_run(report)
+        return outputs, report
 
     # ------------------------------------------------------------------
     # Deterministic replay (simulated clock, same batching discipline)
@@ -485,6 +713,7 @@ class InferenceServer:
         measured compute time; each shard is its own backend worker, so
         shards drain their queues in parallel on the simulated clock.
         """
+        self._begin_run("replay", requests=len(trace))
         arrivals = np.array([request.arrival_s for request in trace])
         order = np.argsort(arrivals, kind="stable")
         shard_of = self._shards_for_trace(trace, pool)
@@ -518,9 +747,11 @@ class InferenceServer:
             shard.batcher.telemetry.record_batch(len(members))
 
         duration = time.perf_counter() - wall_start
-        return outputs, self._report(
+        report = self._report(
             len(trace), duration, latencies,
             simulated_makespan_s=max(free_at) if len(trace) else 0.0)
+        self._finalize_run(report)
+        return outputs, report
 
     # ------------------------------------------------------------------
     # Exactness oracle
@@ -650,6 +881,13 @@ class InferenceServer:
                 stale.unlink(missing_ok=True)
         for stale in path.glob(".tmp-*"):
             stale.unlink(missing_ok=True)
+        if self.telemetry is not None:
+            self.bus.emit("snapshot.write", source="server",
+                          caches=len(caches), generation=generation)
+            if self.telemetry.recorder is not None:
+                self.telemetry.recorder.record_event(
+                    "snapshot.write", path=str(path), caches=len(caches),
+                    generation=generation)
         return manifest
 
     def restore(self, path) -> dict:
@@ -713,6 +951,13 @@ class InferenceServer:
             shard.batch_count = int(batch_count)
             if shard.vector_engine is not None:
                 shard.vector_engine.batch_index = int(batch_index)
+        if self.telemetry is not None:
+            self.bus.emit("snapshot.restore", source="server",
+                          caches=len(manifest["caches"]))
+            if self.telemetry.recorder is not None:
+                self.telemetry.recorder.record_event(
+                    "snapshot.restore", path=str(path),
+                    caches=len(manifest["caches"]))
         return manifest
 
     # ------------------------------------------------------------------
@@ -756,6 +1001,18 @@ class InferenceServer:
             hit_rate = vector_counters["hit_rate"]
         else:
             hit_rate = 0.0
+        # Streaming percentile reads: the batchers' merged log-bucket
+        # histogram where latencies flowed through record_latency (the
+        # asyncio path); the simulated-clock replay path never does, so
+        # fold its latency array into a transient histogram instead.
+        latency_hist = telemetry.latency_hist
+        if latency_hist.count == 0 and len(latencies_s):
+            latency_hist = LogHistogram()
+            latency_hist.record_many(latencies_s)
+        hist_p50_ms = latency_hist.percentile(50) * 1e3 \
+            if latency_hist.count else 0.0
+        hist_p99_ms = latency_hist.percentile(99) * 1e3 \
+            if latency_hist.count else 0.0
         return ServingReport(
             requests=requests,
             batches=sum(shard.batch_count for shard in self.shards),
@@ -773,7 +1030,11 @@ class InferenceServer:
             shards=self.num_shards,
             shard_stats=[shard.stats_row() for shard in self.shards],
             simulated_makespan_s=simulated_makespan_s,
-            l2=self.l2.stats_dict() if self.l2 is not None else {})
+            l2=self.l2.stats_dict() if self.l2 is not None else {},
+            latency_hist_p50_ms=hist_p50_ms,
+            latency_hist_p99_ms=hist_p99_ms,
+            telemetry=self.telemetry.summary()
+            if self.telemetry is not None else {})
 
     def stats(self) -> dict:
         """Live snapshot (the HTTP ``/stats`` payload).
@@ -792,6 +1053,18 @@ class InferenceServer:
                                      for shard in self.shards)
         payload["compute_time_s"] = self._compute_time_s
         return payload
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (the HTTP ``/metrics`` body).
+
+        Drains the bus into the metrics registry first, so a scrape
+        always reflects every batch served before it.  Requires a
+        telemetry bundle (the HTTP front end answers 404 otherwise).
+        """
+        if self.telemetry is None:
+            raise RuntimeError("telemetry is off; build the server with "
+                               "a repro.obs.Telemetry to scrape metrics")
+        return self.telemetry.render_prometheus()
 
     # ------------------------------------------------------------------
     # HTTP front end (stdlib only)
@@ -875,6 +1148,17 @@ class HttpFrontEnd:
                     self._send(200, {"ok": True})
                 elif self.path == "/stats":
                     self._send(200, front.server.stats())
+                elif self.path == "/metrics":
+                    if front.server.telemetry is None:
+                        self._send(404, {"error": "telemetry is off"})
+                        return
+                    body = front.server.metrics_text().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type",
+                                     "text/plain; version=0.0.4")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
                 else:
                     self._send(404, {"error": f"unknown path {self.path}"})
 

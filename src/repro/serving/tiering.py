@@ -69,6 +69,10 @@ class SharedL2Cache:
         # SHA-256 of the parameters whose outputs this store holds;
         # None until a server binds (or a persisted store declares) it.
         self.model_fingerprint: str | None = None
+        # Optional telemetry bus (attached by the owning server):
+        # persistence transitions emit events; per-lookup traffic is
+        # reported in batch deltas by the server instead.
+        self.bus = None
         if self.directory is not None \
                 and (self.directory / L2_MANIFEST).exists():
             self._load()
@@ -170,6 +174,10 @@ class SharedL2Cache:
                 stale.unlink(missing_ok=True)
         for stale in self.directory.glob(".tmp-*"):
             stale.unlink(missing_ok=True)
+        if self.bus is not None:
+            self.bus.emit("l2.flush", source="l2",
+                          entries=len(entries),
+                          generation=self._generation)
         return manifest
 
     def _load(self) -> None:
@@ -194,6 +202,10 @@ class SharedL2Cache:
             p = np.ascontiguousarray(payloads[position],
                                      dtype=np.float64)
             self._store[p.tobytes()] = (p, rows[position].copy())
+        if self.bus is not None:
+            self.bus.emit("l2.load", source="l2",
+                          entries=len(self._store),
+                          generation=self._generation)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"SharedL2Cache(entries={len(self._store)}, "

@@ -1,4 +1,11 @@
-"""Evaluation metrics: top-1 accuracy and BLEU."""
+"""Evaluation metrics: top-1 accuracy and BLEU.
+
+Telemetry naming: per-epoch reuse/loss/accuracy metrics emitted by
+:class:`~repro.training.trainer.Trainer` share one canonical
+vocabulary with the serving stack — :data:`METRIC_NAMES` (re-exported
+from :mod:`repro.obs.metrics`) names every series, and training and
+serving reuse counters differ only by their ``phase`` label.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,10 @@ import math
 from collections import Counter
 
 import numpy as np
+
+from repro.obs.metrics import METRIC_NAMES
+
+__all__ = ["METRIC_NAMES", "bleu_score", "top1_accuracy"]
 
 
 def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:

@@ -10,6 +10,15 @@ When an engine is attached (``ReuseEngine`` for MERCURY or
 the trainer calls ``engine.end_iteration(loss)`` after every optimizer
 step so the adaptation policies see the loss trajectory exactly as the
 paper describes (§III-D).
+
+With a telemetry bus attached (``Trainer(..., bus=...)`` — an
+:class:`repro.obs.bus.EventBus`, usually via
+:class:`repro.obs.Telemetry`), :meth:`Trainer.fit` emits one
+``training.epoch`` event per epoch carrying the loss/accuracy point
+and the engine's reuse deltas (vectors, hits, flash clears, signature
+length), so training and serving report reuse through one metric
+vocabulary (``repro_reuse_*{phase="training"}`` next to
+``phase="serving"`` — see :data:`repro.obs.metrics.METRIC_NAMES`).
 """
 
 from __future__ import annotations
@@ -93,10 +102,12 @@ class Trainer:
     """Runs epochs of minibatch SGD with an optional compute engine."""
 
     def __init__(self, model, config: TrainingConfig | None = None,
-                 engine=None):
+                 engine=None, bus=None):
         self.model = model
         self.config = config or TrainingConfig()
         self.engine = engine
+        # Optional telemetry bus; fit() emits per-epoch reuse events.
+        self.bus = bus
         if engine is not None:
             model.set_engine(engine)
         self.loss_fn = CrossEntropyLoss()
@@ -129,7 +140,8 @@ class Trainer:
         loader = BatchLoader(inputs, targets, batch_size=self.config.batch_size,
                              shuffle=self.config.shuffle, seed=self.config.seed)
         result = TrainingResult()
-        for _ in range(self.config.epochs):
+        reuse_before = self._reuse_totals()
+        for epoch in range(self.config.epochs):
             losses = []
             for batch_inputs, batch_targets in loader:
                 losses.append(self.train_step(batch_inputs, batch_targets))
@@ -138,9 +150,43 @@ class Trainer:
             result.epoch_losses.append(float(np.mean(losses)))
             result.epoch_train_accuracy.append(
                 self.evaluate(inputs, targets))
+            reuse_before = self._emit_epoch(epoch, result, reuse_before)
         if validation is not None:
             result.final_validation_accuracy = self.evaluate(*validation)
         return result
+
+    # ------------------------------------------------------------------
+    def _reuse_totals(self) -> dict:
+        """Lifetime reuse totals of the attached engine (zeros without
+        one) — diffed per epoch by :meth:`_emit_epoch`."""
+        stats = getattr(self.engine, "stats", None)
+        session = getattr(self.engine, "session", None)
+        return {
+            "vectors": int(stats.total_vectors) if stats is not None else 0,
+            "hits": int(stats.total_hits) if stats is not None else 0,
+            "flash_clears": int(session.clears)
+            if session is not None else 0,
+        }
+
+    def _emit_epoch(self, epoch: int, result: TrainingResult,
+                    before: dict) -> dict:
+        """Emit one ``training.epoch`` event; returns the new totals."""
+        if self.bus is None:
+            return before
+        after = self._reuse_totals()
+        vectors = after["vectors"] - before["vectors"]
+        hits = after["hits"] - before["hits"]
+        self.bus.emit(
+            "training.epoch", source="trainer",
+            epoch=epoch,
+            loss=result.epoch_losses[-1],
+            accuracy=result.epoch_train_accuracy[-1],
+            vectors=vectors, hits=hits,
+            flash_clears=after["flash_clears"] - before["flash_clears"],
+            hit_rate=hits / vectors if vectors else 0.0,
+            signature_bits=int(getattr(self.engine, "signature_bits", 0)
+                               or 0))
+        return after
 
     # ------------------------------------------------------------------
     def evaluate(self, inputs: np.ndarray, targets: np.ndarray,

@@ -61,6 +61,7 @@ def test_check_floors_flags_misses():
     payload = floors_payload({"im2col": 2.0, "baseline_memoization": 1.2,
                               "serving_sharded": 2.0,
                               "serving_tiered": 1.2,
+                              "serving_telemetry": 1.0,
                               "functional_sweep": 3.0})
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
@@ -70,7 +71,8 @@ def test_check_floors_flags_misses():
 def test_check_floors_gates_sharded_serving():
     payload = floors_payload({"im2col": 2.0, "baseline_memoization": 2.0,
                               "serving_sharded": 1.1,
-                              "serving_tiered": 1.2})
+                              "serving_tiered": 1.2,
+                              "serving_telemetry": 1.0})
     failures = check_floors(payload, floor=1.5, sharded_floor=1.2)
     assert len(failures) == 1 and "serving_sharded" in failures[0]
     assert check_floors(payload, floor=1.5, sharded_floor=1.05) == []
@@ -80,14 +82,16 @@ def test_check_floors_fails_on_missing_gated_segment():
     # A gated segment disappearing from the payload must not silently
     # disable the gate.
     payload = floors_payload({"im2col": 2.0, "serving_sharded": 2.0,
-                              "serving_tiered": 1.2})
+                              "serving_tiered": 1.2,
+                              "serving_telemetry": 1.0})
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
     assert "missing" in failures[0]
 
 
 GOOD = {"im2col": 2.0, "baseline_memoization": 2.0,
-        "serving_sharded": 2.0, "serving_tiered": 1.2}
+        "serving_sharded": 2.0, "serving_tiered": 1.2,
+        "serving_telemetry": 1.0}
 
 
 def test_check_floors_gates_tiered_serving():
@@ -95,6 +99,15 @@ def test_check_floors_gates_tiered_serving():
     failures = check_floors(payload, floor=1.5, tiered_floor=1.05)
     assert len(failures) == 1 and "serving_tiered" in failures[0]
     assert check_floors(payload, floor=1.5, tiered_floor=1.0) == []
+
+
+def test_check_floors_gates_telemetry_overhead():
+    # The telemetry segment is an overhead ceiling, not a speedup floor:
+    # the instrumented replay must stay within ~5% of the bare one.
+    payload = floors_payload(dict(GOOD, serving_telemetry=0.90))
+    failures = check_floors(payload, floor=1.5)
+    assert len(failures) == 1 and "serving_telemetry" in failures[0]
+    assert check_floors(payload, floor=1.5, telemetry_floor=0.85) == []
 
 
 def test_check_floors_gates_parallel_serving_on_multicore():
@@ -143,7 +156,8 @@ def test_run_suite_artifact_contract():
     expected = {"im2col", "rpq_projection_growth", "hitmap_multiword",
                 "train_step", "conv_group_batching", "serving_reuse",
                 "serving_sharded", "serving_tiered", "serving_parallel",
-                "baseline_memoization", "functional_sweep"}
+                "serving_telemetry", "baseline_memoization",
+                "functional_sweep"}
     assert set(payload["segments"]) == expected
     assert set(payload["speedups"]) == expected
     for segment in payload["segments"].values():

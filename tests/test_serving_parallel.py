@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.models.registry import build_model
+from repro.obs import AdaptivePolicyController, Telemetry
 from repro.serving import (BatcherConfig, FaultInjection, InferenceServer,
                            ParallelInferenceServer, ServingPolicy,
                            TrafficConfig, build_request_pool, generate_trace)
@@ -85,6 +86,44 @@ class TestParallelParity:
         assert report.vector_cache == reference.vector_cache
         assert [row["hit_rate"] for row in report.shard_stats] == \
             [row["hit_rate"] for row in reference.shard_stats]
+
+    def test_single_worker_telemetry_matches_in_process(self, model,
+                                                        pool, trace):
+        """Forwarded worker telemetry equals in-process telemetry.
+
+        At workers=1 the worker's event stream must be the in-process
+        server's stream, relabelled and re-emitted by the supervisor —
+        so both runs fold into byte-equal metric registries (the
+        MetricsCollector mapping is the single point of truth) and
+        identical bus digests, with zero drops.
+        """
+        in_process = Telemetry(window_batches=2)
+        single = InferenceServer(build_model("squeezenet", num_classes=4,
+                                             seed=3),
+                                 EXACT, CONFIG, shards=1,
+                                 telemetry=in_process)
+        reference_outputs, reference = single.replay(trace, pool)
+
+        forwarded = Telemetry(window_batches=2)
+        with ParallelInferenceServer(model, EXACT, CONFIG, workers=1,
+                                     snapshot_every_batches=0,
+                                     telemetry=forwarded) as parallel:
+            outputs, report = parallel.replay(trace, pool)
+
+        for ours, theirs in zip(outputs, reference_outputs):
+            np.testing.assert_array_equal(ours, theirs)
+        assert forwarded.summary() == in_process.summary()
+        assert forwarded.summary()["dropped"] == 0
+        assert forwarded.registry.state() == in_process.registry.state()
+        assert report.telemetry == reference.telemetry
+        assert report.request_cache == reference.request_cache
+
+    def test_controller_requires_the_in_process_server(self, model):
+        with pytest.raises(ValueError, match="in-process"):
+            ParallelInferenceServer(
+                model, EXACT, CONFIG, workers=1,
+                telemetry=Telemetry(
+                    controller=AdaptivePolicyController()))
 
     def test_workers_stay_warm_across_replays(self, model, pool, trace):
         # Workers persist between replays; the report isolates each
