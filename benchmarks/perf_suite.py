@@ -21,6 +21,15 @@ oracles — the dominant costs this overhaul removed:
 * per-channel-group engine calls — before `ReuseEngine.matmul_groups`
   batched them into one multi-group signature/group-by phase
   (`batch_channel_groups=False` replays the per-call loop);
+* object-dtype Hitmap states — before the dense ``int8`` state codes,
+  every classification materialised ``HitState`` enum arrays and every
+  consumer scanned them with object compares (``seed_mode`` replays
+  the materialisation and mask scans per classification);
+* the per-group masked cache ride — before the fused
+  gather->GEMM->scatter ``ReuseSession.ride_groups`` assembled every
+  ``matmul_groups`` call in one pass (``MercuryConfig(fused_ride=
+  False)`` keeps the per-call oracle; the ``cache_ride`` segment times
+  the two assemblies head to head and asserts them bit-identical);
 * cache-less serving — the serving segment replays one Zipfian trace
   without and with the cross-request exact cache;
 * single-backend serving — the sharded segment replays one saturating
@@ -121,18 +130,76 @@ def seed_pack_bits(bits: np.ndarray) -> np.ndarray:
     return packed
 
 
+def _seed_object_states(simulation):
+    """Replay the seed's object-dtype Hitmap states on one simulation.
+
+    The seed carried ``HitState`` enum objects end to end: every
+    classification materialised an object array, and every consumer
+    (the ride's HIT mask, the state counters) scanned it with
+    object-equality compares.  This replays exactly those per-batch
+    costs — one object materialisation plus the two mask scans — and
+    hands the dense codes back so the rest of the pipeline still runs.
+    """
+    from repro.core.hitmap import (HIT_CODE, HitState, MAU_CODE, MNU_CODE,
+                                   codes_to_states)
+    objects = codes_to_states(simulation.states)
+    hit_mask = objects == HitState.HIT
+    mau_mask = objects == HitState.MAU
+    codes = np.full(len(objects), MNU_CODE, dtype=np.int8)
+    codes[hit_mask] = HIT_CODE
+    codes[mau_mask] = MAU_CODE
+    simulation.states = codes
+    return simulation
+
+
 @contextmanager
 def seed_mode():
-    """Swap in the seed implementations kept as oracles."""
+    """Swap in the seed implementations kept as oracles.
+
+    Besides the loop-filled im2col and the object-int ``pack_bits``,
+    this replays the behaviours later overhauls retired and keep
+    in-tree as oracles: one engine call per channel group (the loop
+    ``batch_channel_groups=False`` preserves, instead of the
+    multi-group signature phase), object-dtype ``HitState`` arrays on
+    every classification (``_seed_object_states``), and with them the
+    per-group masked cache ride (``ReuseSession.ride`` per call — the
+    oracle that ``MercuryConfig(fused_ride=False)`` keeps — instead of
+    the fused gather->GEMM->scatter ``ride_groups``)."""
+    from repro.core.session import ReuseSession
+
     original_im2col = conv_module.im2col
     original_pack_bits = rpq_module.pack_bits
+    original_classify = ReuseSession.classify
+    original_classify_groups = ReuseSession.classify_groups
+    original_matmul_groups = ReuseEngine.matmul_groups
+
+    def seed_classify(self, signatures):
+        return _seed_object_states(original_classify(self, signatures))
+
+    def seed_classify_groups(self, signature_groups, signature_bits):
+        return [_seed_object_states(simulation) for simulation in
+                original_classify_groups(self, signature_groups,
+                                         signature_bits)]
+
+    def seed_matmul_groups(self, vectors_groups, weights_groups, *,
+                           layer, phase="forward"):
+        return [self.matmul(vectors, weights, layer=layer, phase=phase)
+                for vectors, weights
+                in zip(vectors_groups, weights_groups)]
+
     conv_module.im2col = im2col_reference
     rpq_module.pack_bits = seed_pack_bits
+    ReuseSession.classify = seed_classify
+    ReuseSession.classify_groups = seed_classify_groups
+    ReuseEngine.matmul_groups = seed_matmul_groups
     try:
         yield
     finally:
         conv_module.im2col = original_im2col
         rpq_module.pack_bits = original_pack_bits
+        ReuseSession.classify = original_classify
+        ReuseSession.classify_groups = original_classify_groups
+        ReuseEngine.matmul_groups = original_matmul_groups
 
 
 # ----------------------------------------------------------------------
@@ -207,8 +274,14 @@ def segment_hitmap_multiword(quick: bool, repeats: int) -> dict:
     return _segment(before, after, num_probes=num_probes, signature_bits=70)
 
 
-def _one_train_step(point: FunctionalPoint):
-    """Build a fresh trainer for ``point`` and run a single step."""
+def _one_train_step(point: FunctionalPoint) -> float:
+    """Build a fresh trainer for ``point``; time a single cold step.
+
+    Setup (data synthesis, model/engine/trainer construction) happens
+    outside the timed window — the segment measures the training step,
+    not the harness around it — but every timed step starts from a
+    fresh model and an empty MCACHE so repeats do identical work.
+    """
     xtr, ytr, _, _, num_outputs = load_point_data(point)
     model = build_model(point.model, num_classes=num_outputs, seed=1)
     engine = ReuseEngine(mercury_config_for(point))
@@ -216,7 +289,9 @@ def _one_train_step(point: FunctionalPoint):
     loader = BatchLoader(xtr, ytr, batch_size=point.batch_size,
                          shuffle=False, seed=0)
     inputs, targets = next(iter(loader))
+    start = time.perf_counter()
     trainer.train_step(inputs, targets)
+    return time.perf_counter() - start
 
 
 def segment_train_step(quick: bool, repeats: int) -> dict:
@@ -224,9 +299,10 @@ def segment_train_step(quick: bool, repeats: int) -> dict:
     point = FunctionalPoint(model="squeezenet",
                             dataset_scale="tiny" if quick else "small",
                             epochs=1, signature_bits=20)
+    repeats = max(repeats, 1)
     with seed_mode():
-        before = best_of(lambda: _one_train_step(point), repeats)
-    after = best_of(lambda: _one_train_step(point), repeats)
+        before = min(_one_train_step(point) for _ in range(repeats + 1))
+    after = min(_one_train_step(point) for _ in range(repeats + 1))
     return _segment(before, after, model=point.model,
                     dataset_scale=point.dataset_scale,
                     signature_bits=point.signature_bits)
@@ -274,6 +350,55 @@ def segment_conv_group_batching(quick: bool, repeats: int) -> dict:
     after = best_of(lambda: run(True), repeats)
     return _segment(before, after, channels=channels,
                     input_shape=list(x.shape))
+
+
+def segment_cache_ride(quick: bool, repeats: int) -> dict:
+    """Cache-ride assembly at conv-like group counts: per-group masked
+    GEMMs (`ReuseSession.ride` once per group — the oracle that
+    ``MercuryConfig(fused_ride=False)`` keeps) vs the fused
+    gather->GEMM->scatter (`ReuseSession.ride_groups`: one miss gather,
+    contiguous per-group GEMM slices, one scatter + HIT copy).  Both
+    sides are asserted bit-identical before timing."""
+    from repro.core.hitmap_sim import simulate_hitmap_grouped
+    from repro.core.session import ReuseSession
+
+    # The engine's per-channel-group shape: a 3x3 kernel over one
+    # channel gives length-9 vectors, one group per input channel.
+    num_groups = 32 if quick else 64
+    rows = 256 if quick else 576
+    length, num_filters = 9, 16
+    rng = np.random.default_rng(4)
+    groups = [rng.normal(size=(rows, length)) for _ in range(num_groups)]
+    weights = [rng.normal(size=(length, num_filters))
+               for _ in range(num_groups)]
+    # A small signature pool per group reproduces the early-conv
+    # similarity regime (paper Figure 1): most rows are HITs, so the
+    # assembly overhead, not the GEMM, dominates the per-call loop.
+    traces = [rng.choice(rng.integers(0, 1 << 16, size=rows // 4),
+                         size=rows) for _ in range(num_groups)]
+    simulations = simulate_hitmap_grouped(
+        np.concatenate(traces), [rows] * num_groups,
+        num_sets=256, ways=16)
+
+    def masked_per_group():
+        return [ReuseSession.ride(vectors, w, simulation)
+                for vectors, w, simulation
+                in zip(groups, weights, simulations)]
+
+    def fused():
+        return ReuseSession.ride_groups(groups, weights, simulations)
+
+    for oracle, ride in zip(masked_per_group(), fused()):
+        np.testing.assert_array_equal(oracle, ride)
+    # Sub-millisecond assembly calls are allocator-noise sensitive;
+    # extra best-of iterations are cheap and stabilise the ratio.
+    repeats = max(repeats, 10)
+    before = best_of(masked_per_group, repeats)
+    after = best_of(fused, repeats)
+    hit_rows = sum(simulation.hits for simulation in simulations)
+    return _segment(before, after, groups=num_groups, rows_per_group=rows,
+                    vector_length=length, num_filters=num_filters,
+                    hit_fraction=hit_rows / (num_groups * rows))
 
 
 def segment_serving_reuse(quick: bool, repeats: int) -> dict:
@@ -524,6 +649,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "hitmap_multiword": segment_hitmap_multiword(quick, repeats),
         "train_step": segment_train_step(quick, repeats),
         "conv_group_batching": segment_conv_group_batching(quick, repeats),
+        "cache_ride": segment_cache_ride(quick, repeats),
         "serving_reuse": segment_serving_reuse(quick, repeats),
         "serving_sharded": segment_serving_sharded(quick, repeats),
         "serving_tiered": segment_serving_tiered(quick, repeats),
@@ -548,8 +674,16 @@ def check_floors(payload: dict, floor: float,
                  sharded_floor: float = 1.2,
                  tiered_floor: float = 1.05,
                  parallel_floor: float = 1.5,
-                 telemetry_floor: float = 0.95) -> list[str]:
+                 telemetry_floor: float = 0.95,
+                 train_step_floor: float = 1.25,
+                 cache_ride_floor: float = 1.1) -> list[str]:
     """The CI gate: im2col and baseline memoization must hold ``floor``;
+    the training step must beat the seed replay (loop im2col, per-group
+    engine calls, object-dtype states, masked per-call ride) by
+    ``train_step_floor``, and the fused gather->GEMM->scatter ride must
+    beat the per-group masked assembly by ``cache_ride_floor`` — both
+    conservative against single-core timer noise (the committed
+    full-mode baselines sit well above them);
     the 4-shard serving makespan must beat the single worker by
     ``sharded_floor`` (consistent-hash balance caps it below the ideal
     4x, so its floor is separate and conservative); LRU replacement on
@@ -566,6 +700,8 @@ def check_floors(payload: dict, floor: float,
     segment still records the measurement)."""
     failures = []
     floors = {"im2col": floor, "baseline_memoization": floor,
+              "train_step": train_step_floor,
+              "cache_ride": cache_ride_floor,
               "serving_sharded": sharded_floor,
               "serving_tiered": tiered_floor,
               "serving_telemetry": telemetry_floor}
@@ -633,6 +769,13 @@ def main(argv=None) -> int:
                         help="minimum process-parallel serving speedup "
                              "for --check on hosts with >= 2 usable "
                              "cores (default 1.5)")
+    parser.add_argument("--train-step-floor", type=float, default=1.25,
+                        help="minimum train-step speedup over the full "
+                             "seed replay for --check (default 1.25)")
+    parser.add_argument("--cache-ride-floor", type=float, default=1.1,
+                        help="minimum fused-vs-masked cache-ride "
+                             "assembly speedup for --check "
+                             "(default 1.1)")
     args = parser.parse_args(argv)
 
     payload = run_suite(quick=args.quick, repeats=args.repeats)
@@ -649,7 +792,9 @@ def main(argv=None) -> int:
                                 sharded_floor=args.sharded_floor,
                                 tiered_floor=args.tiered_floor,
                                 parallel_floor=args.parallel_floor,
-                                telemetry_floor=args.telemetry_floor)
+                                telemetry_floor=args.telemetry_floor,
+                                train_step_floor=args.train_step_floor,
+                                cache_ride_floor=args.cache_ride_floor)
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}")

@@ -41,7 +41,7 @@ def vgg13_conv_trace() -> np.ndarray:
 
 def scalar_replay(trace: np.ndarray):
     cache = MCache(entries=ENTRIES, ways=WAYS)
-    states = [cache.lookup_or_insert(int(signature))[0]
+    states = [cache.lookup_or_insert(int(signature))[0].code
               for signature in trace]
     return states, cache.stats
 

@@ -3,7 +3,17 @@
 from repro.core.config import MercuryConfig
 from repro.core.rpq import RPQHasher, pack_bits, signature_via_convolution
 from repro.core.signature import SignatureTable
-from repro.core.hitmap import Hitmap, HitState
+from repro.core.hitmap import (
+    CODE_TO_STATE,
+    HIT_CODE,
+    Hitmap,
+    HitState,
+    MAU_CODE,
+    MNU_CODE,
+    STATE_TO_CODE,
+    codes_to_states,
+    states_to_codes,
+)
 from repro.core.mcache import MCache
 from repro.core.mcache_vec import VectorizedMCache
 from repro.core.differential import (
@@ -30,6 +40,13 @@ __all__ = [
     "SignatureTable",
     "Hitmap",
     "HitState",
+    "HIT_CODE",
+    "MAU_CODE",
+    "MNU_CODE",
+    "CODE_TO_STATE",
+    "STATE_TO_CODE",
+    "codes_to_states",
+    "states_to_codes",
     "MCache",
     "VectorizedMCache",
     "DifferentialReport",

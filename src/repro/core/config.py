@@ -66,6 +66,13 @@ class MercuryConfig:
     # regression-tested so; ``False`` restores the per-call loop (the
     # oracle for that test).
     batch_channel_groups: bool = True
+    # Run the cache ride of a batched multi-group call as one fused
+    # gather → block GEMM → scatter (``ReuseSession.ride_groups``)
+    # instead of one masked GEMM per group.  Bit-identical by
+    # construction (per-group GEMMs keep their per-call shapes) and
+    # regression-tested so; ``False`` restores the per-group masked
+    # ride, the oracle for that test.
+    fused_ride: bool = True
 
     # --- Accelerator ------------------------------------------------------
     dataflow: str = "row_stationary"

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.hitmap import HitState
+from repro.core.hitmap import CODE_TO_STATE, HitState, STATE_TO_CODE
 from repro.core.hitmap_sim import HitmapSimulation
 from repro.core.mcache import MCache
 from repro.core.mcache_vec import VectorizedMCache
@@ -44,7 +44,7 @@ def scalar_reference_simulation(signatures, num_sets: int,
     cache = MCache(entries=num_sets * ways, ways=ways)
     signatures = signatures_to_ints(signatures)
     num_vectors = len(signatures)
-    states = np.empty(num_vectors, dtype=object)
+    states = np.empty(num_vectors, dtype=np.int8)
     representative = np.arange(num_vectors, dtype=np.int64)
     owner_row: dict[int, int] = {}
     rejected: set[int] = set()
@@ -52,7 +52,7 @@ def scalar_reference_simulation(signatures, num_sets: int,
     for index in range(num_vectors):
         signature = int(signatures[index])
         state, entry_id = cache.lookup_or_insert(signature)
-        states[index] = state
+        states[index] = STATE_TO_CODE[state]
         if state is HitState.HIT:
             representative[index] = owner_row[entry_id]
         elif state is HitState.MAU:
@@ -142,11 +142,12 @@ def run_differential(signatures, entries: int, ways: int, versions: int = 1,
         for offset in range(len(chunk_values)):
             index = position + offset
             state, entry_id = scalar.lookup_or_insert(int(chunk_values[offset]))
-            if state is not vec_states[offset] or entry_id != vec_entries[offset]:
+            if (STATE_TO_CODE[state] != int(vec_states[offset])
+                    or entry_id != vec_entries[offset]):
                 report.mismatches.append({
                     "probe": index, "signature": int(chunk_values[offset]),
                     "scalar": (state.value, entry_id),
-                    "vectorized": (vec_states[offset].value,
+                    "vectorized": (CODE_TO_STATE[int(vec_states[offset])].value,
                                    int(vec_entries[offset]))})
                 continue
             if not data_phase or entry_id < 0:

@@ -10,6 +10,15 @@ for an input vector it consults the Hitmap entry —
   so the PE set must compute and store its result.
 * ``MNU``  — *miss no update*: the MCACHE set was full, the signature
   was not inserted; compute but do not store.
+
+Two representations coexist.  The :class:`HitState` enum is the
+user-facing view (and the scalar :class:`~repro.core.mcache.MCache`
+oracle's vocabulary); every hot path — batch classification, the
+session's probe/admit loops, the cache ride — carries the dense ``int8``
+*state codes* :data:`HIT_CODE` / :data:`MAU_CODE` / :data:`MNU_CODE`
+instead, so no Python enum object is ever materialised per vector.
+:func:`codes_to_states` / :func:`states_to_codes` convert at the
+boundary.
 """
 
 from __future__ import annotations
@@ -18,6 +27,12 @@ from enum import Enum
 
 import numpy as np
 
+#: Dense ``int8`` state codes carried by every batch-classification
+#: array (``HitmapSimulation.states``, ``lookup_or_insert_batch``).
+HIT_CODE: int = 0
+MAU_CODE: int = 1
+MNU_CODE: int = 2
+
 
 class HitState(Enum):
     """State of one Hitmap entry."""
@@ -25,6 +40,30 @@ class HitState(Enum):
     HIT = "HIT"
     MAU = "MAU"
     MNU = "MNU"
+
+    @property
+    def code(self) -> int:
+        """The dense ``int8`` code of this state (HIT=0, MAU=1, MNU=2)."""
+        return STATE_TO_CODE[self]
+
+
+#: code -> enum (an object array so ``CODE_TO_STATE[codes]`` vectorises).
+CODE_TO_STATE = np.array([HitState.HIT, HitState.MAU, HitState.MNU],
+                         dtype=object)
+#: enum -> code.
+STATE_TO_CODE = {HitState.HIT: HIT_CODE, HitState.MAU: MAU_CODE,
+                 HitState.MNU: MNU_CODE}
+
+
+def codes_to_states(codes: np.ndarray) -> np.ndarray:
+    """Object array of :class:`HitState` for an ``int8`` code array."""
+    return CODE_TO_STATE[np.asarray(codes, dtype=np.int8)]
+
+
+def states_to_codes(states) -> np.ndarray:
+    """``int8`` code array for a sequence of :class:`HitState` values."""
+    return np.fromiter((STATE_TO_CODE[state] for state in states),
+                       dtype=np.int8, count=len(states))
 
 
 class Hitmap:

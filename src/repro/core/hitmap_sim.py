@@ -27,27 +27,39 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.hitmap import Hitmap, HitState
+from repro.core.hitmap import (CODE_TO_STATE, HIT_CODE, Hitmap, MAU_CODE,
+                               MNU_CODE)
 from repro.core.rpq import coerce_packed, unique_signatures, words_mod
 
 
 @dataclass
 class HitmapSimulation:
-    """Outcome of the signature phase for one set of vectors."""
+    """Outcome of the signature phase for one set of vectors.
 
-    states: np.ndarray          # object array of HitState
+    ``states`` carries the dense ``int8`` state codes
+    (:data:`~repro.core.hitmap.HIT_CODE` = 0, ``MAU_CODE`` = 1,
+    ``MNU_CODE`` = 2) — no Python enum objects on the hot path; the
+    enum view is :meth:`state_objects` / :meth:`to_hitmap`.
+    """
+
+    states: np.ndarray          # int8 codes: HIT=0, MAU=1, MNU=2
     representative: np.ndarray  # int array; HIT rows point at their source
     hits: int
     mau: int
     mnu: int
     unique_signatures: int
 
+    def state_objects(self) -> np.ndarray:
+        """The user-facing enum view: an object array of ``HitState``."""
+        return CODE_TO_STATE[self.states]
+
     def to_hitmap(self) -> Hitmap:
         """Materialise a :class:`Hitmap` without per-entry validation cost."""
         hitmap = Hitmap(len(self.states))
-        hitmap._states = list(self.states)
-        hitmap._source = [int(src) if state is HitState.HIT else None
-                          for state, src in zip(self.states, self.representative)]
+        hitmap._states = list(CODE_TO_STATE[self.states])
+        hitmap._source = [int(src) if code == HIT_CODE else None
+                          for code, src in zip(self.states.tolist(),
+                                               self.representative.tolist())]
         return hitmap
 
 
@@ -96,7 +108,7 @@ def simulate_hitmap(signatures: np.ndarray, num_sets: int,
     num_vectors = len(signatures)
 
     if num_vectors == 0:
-        return HitmapSimulation(states=np.empty(0, dtype=object),
+        return HitmapSimulation(states=np.empty(0, dtype=np.int8),
                                 representative=np.empty(0, dtype=np.int64),
                                 hits=0, mau=0, mnu=0, unique_signatures=0)
 
@@ -122,18 +134,25 @@ def _classify_uniques(unique_sets: np.ndarray, first_index: np.ndarray,
     representative)`` over the ``num_vectors`` probes.
     """
     # Decide which unique signatures win a cache line: order them by
-    # first occurrence and admit the first `ways` per set.
-    arrival_order = np.argsort(first_index, kind="stable")
-    sets_in_arrival = unique_sets[arrival_order]
-
-    by_set = np.argsort(sets_in_arrival, kind="stable")
-    sorted_sets = sets_in_arrival[by_set]
-    rank_within_set = rank_within_groups(sorted_sets)
-
-    inserted_in_arrival = np.empty(len(sorted_sets), dtype=bool)
-    inserted_in_arrival[by_set] = rank_within_set < ways
-    inserted_unique = np.empty(len(unique_sets), dtype=bool)
-    inserted_unique[arrival_order] = inserted_in_arrival
+    # first occurrence and admit the first `ways` per set.  The
+    # (set, arrival) order usually fuses into one integer key — one
+    # unstable argsort (keys are distinct) instead of two stable ones.
+    num_uniques = len(unique_sets)
+    inserted_unique = np.empty(num_uniques, dtype=bool)
+    max_set = int(unique_sets.max()) if num_uniques else 0
+    if max_set < (2 ** 62) // max(num_vectors, 1):
+        order = np.argsort(unique_sets.astype(np.int64) * num_vectors
+                           + first_index)
+        rank_within_set = rank_within_groups(unique_sets[order])
+        inserted_unique[order] = rank_within_set < ways
+    else:  # pragma: no cover — needs ~2^62 composite sets
+        arrival_order = np.argsort(first_index, kind="stable")
+        sets_in_arrival = unique_sets[arrival_order]
+        by_set = np.argsort(sets_in_arrival, kind="stable")
+        rank_within_set = rank_within_groups(sets_in_arrival[by_set])
+        inserted_in_arrival = np.empty(num_uniques, dtype=bool)
+        inserted_in_arrival[by_set] = rank_within_set < ways
+        inserted_unique[arrival_order] = inserted_in_arrival
 
     is_first = np.zeros(num_vectors, dtype=bool)
     is_first[first_index] = True
@@ -148,13 +167,12 @@ def _classify_uniques(unique_sets: np.ndarray, first_index: np.ndarray,
     return hit_mask, mau_mask, mnu_mask, representative
 
 
-def _masks_to_states(hit_mask: np.ndarray, mau_mask: np.ndarray,
-                     mnu_mask: np.ndarray) -> np.ndarray:
-    states = np.empty(len(hit_mask), dtype=object)
-    states[hit_mask] = HitState.HIT
-    states[mau_mask] = HitState.MAU
-    states[mnu_mask] = HitState.MNU
-    return states
+def _masks_to_codes(hit_mask: np.ndarray,
+                    mau_mask: np.ndarray) -> np.ndarray:
+    codes = np.full(len(hit_mask), MNU_CODE, dtype=np.int8)
+    codes[hit_mask] = HIT_CODE
+    codes[mau_mask] = MAU_CODE
+    return codes
 
 
 def _simulate_vectorised(signatures: np.ndarray, num_sets: int,
@@ -166,8 +184,7 @@ def _simulate_vectorised(signatures: np.ndarray, num_sets: int,
     hit_mask, mau_mask, mnu_mask, representative = _classify_uniques(
         unique_sets, first_index, inverse, num_vectors, ways)
 
-    return HitmapSimulation(states=_masks_to_states(hit_mask, mau_mask,
-                                                    mnu_mask),
+    return HitmapSimulation(states=_masks_to_codes(hit_mask, mau_mask),
                             representative=representative,
                             hits=int(hit_mask.sum()), mau=int(mau_mask.sum()),
                             mnu=int(mnu_mask.sum()),
@@ -265,9 +282,18 @@ def simulate_hitmap_grouped(signatures, group_sizes, num_sets: int,
 
     hit_mask, mau_mask, mnu_mask, representative = _classify_uniques(
         composite_sets, first_index, inverse, num_vectors, ways)
-    states = _masks_to_states(hit_mask, mau_mask, mnu_mask)
+    states = _masks_to_codes(hit_mask, mau_mask)
     unique_per_group = np.bincount(unique_groups,
                                    minlength=len(group_sizes))
+    # Per-group state counts in three bincounts over the row group ids
+    # instead of three slice reductions per group.
+    row_groups = group_ids.astype(np.int64, copy=False)
+    hits_per_group = np.bincount(row_groups[hit_mask],
+                                 minlength=num_groups)
+    mau_per_group = np.bincount(row_groups[mau_mask],
+                                minlength=num_groups)
+    mnu_per_group = np.bincount(row_groups[mnu_mask],
+                                minlength=num_groups)
 
     simulations = []
     for group in range(len(group_sizes)):
@@ -275,9 +301,9 @@ def simulate_hitmap_grouped(signatures, group_sizes, num_sets: int,
         simulations.append(HitmapSimulation(
             states=states[lo:hi],
             representative=representative[lo:hi] - lo,
-            hits=int(hit_mask[lo:hi].sum()),
-            mau=int(mau_mask[lo:hi].sum()),
-            mnu=int(mnu_mask[lo:hi].sum()),
+            hits=int(hits_per_group[group]),
+            mau=int(mau_per_group[group]),
+            mnu=int(mnu_per_group[group]),
             unique_signatures=int(unique_per_group[group])))
     return simulations
 
@@ -286,7 +312,7 @@ def _simulate_sequential(signatures: np.ndarray, num_sets: int,
                          ways: int) -> HitmapSimulation:
     """Reference implementation used for object arrays of exact ints."""
     num_vectors = len(signatures)
-    states = np.empty(num_vectors, dtype=object)
+    states = np.empty(num_vectors, dtype=np.int8)
     representative = np.arange(num_vectors, dtype=np.int64)
 
     set_occupancy: dict[int, int] = {}
@@ -297,12 +323,12 @@ def _simulate_sequential(signatures: np.ndarray, num_sets: int,
     for index in range(num_vectors):
         signature = int(signatures[index])
         if signature in owner_of_signature:
-            states[index] = HitState.HIT
+            states[index] = HIT_CODE
             representative[index] = owner_of_signature[signature]
             hits += 1
             continue
         if signature in rejected:
-            states[index] = HitState.MNU
+            states[index] = MNU_CODE
             mnu += 1
             continue
         set_index = signature % num_sets
@@ -310,11 +336,11 @@ def _simulate_sequential(signatures: np.ndarray, num_sets: int,
         if occupancy < ways:
             set_occupancy[set_index] = occupancy + 1
             owner_of_signature[signature] = index
-            states[index] = HitState.MAU
+            states[index] = MAU_CODE
             mau += 1
         else:
             rejected.add(signature)
-            states[index] = HitState.MNU
+            states[index] = MNU_CODE
             mnu += 1
 
     unique = len(owner_of_signature) + len(rejected)

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.hitmap import HitState
+from repro.core.hitmap import CODE_TO_STATE, HIT_CODE, HitState
 from repro.core.hitmap_sim import (HitmapSimulation, rank_within_groups,
                                    signature_sets, simulate_hitmap)
 from repro.core.mcache import MCacheStats
@@ -80,6 +80,9 @@ class VectorizedMCache:
         self._line_entry = np.full((self.num_sets, ways), -1, dtype=np.int64)
         self._occupancy = np.zeros(self.num_sets, dtype=np.int64)
         self._valid_data = np.zeros((self.num_sets, ways, versions), dtype=bool)
+        # Object grid of stored payloads.  Exercised only by the direct
+        # data-phase API and the differential suite; the serving hot
+        # path keeps results in the session's dense store instead.
         self._data = np.empty((self.num_sets, ways, versions), dtype=object)
         # entry_id -> (set, way); entry ids are dense 0..N-1 so plain
         # arrays indexed by id replace the scalar model's dict.
@@ -180,16 +183,17 @@ class VectorizedMCache:
 
         Equivalent to calling the scalar model's ``lookup_or_insert``
         once per element; returns ``(states, entry_ids)`` where
-        ``states`` is an object array of :class:`HitState` and
-        ``entry_ids`` holds the owning cache entry (-1 for MNU).
+        ``states`` is an ``int8`` array of state codes
+        (:data:`~repro.core.hitmap.HIT_CODE` / ``MAU_CODE`` /
+        ``MNU_CODE``) and ``entry_ids`` holds the owning cache entry
+        (-1 for MNU).
         """
         sigs = self._normalize(signatures)
         if len(sigs) == 0:
-            return (np.empty(0, dtype=object), np.empty(0, dtype=np.int64))
+            return (np.empty(0, dtype=np.int8), np.empty(0, dtype=np.int64))
         unique_values, first_index, inverse = unique_signatures(sigs)
-        states, entry_ids, _masks = self._probe_prepared(
-            unique_values, first_index, inverse, len(sigs))
-        return states, entry_ids
+        return self._probe_prepared(unique_values, first_index, inverse,
+                                    len(sigs))
 
     def _match_resident(self, unique_values: np.ndarray,
                         unique_sets: np.ndarray) -> np.ndarray:
@@ -216,7 +220,7 @@ class VectorizedMCache:
                 unique_values[inserted] // self.num_sets
 
     def _probe_prepared(self, unique_values, first_index, inverse,
-                        num_probes) -> tuple[np.ndarray, np.ndarray, tuple]:
+                        num_probes) -> tuple[np.ndarray, np.ndarray]:
         """Batch probe/insert given a precomputed group-by of the batch."""
         num_unique = len(unique_values)
         unique_sets = signature_sets(unique_values, self.num_sets)
@@ -275,24 +279,23 @@ class VectorizedMCache:
 
         is_first = np.zeros(num_probes, dtype=bool)
         is_first[first_index] = True
-        element_state = unique_state[inverse]
-        hit_mask = (element_state == 0) | ((element_state == 1) & ~is_first)
-        mau_mask = (element_state == 1) & is_first
-        mnu_mask = element_state == 2
-
-        states = np.empty(num_probes, dtype=object)
-        states[hit_mask] = HitState.HIT
-        states[mau_mask] = HitState.MAU
-        states[mnu_mask] = HitState.MNU
-        self.stats.hits += int(hit_mask.sum())
-        self.stats.mau += int(mau_mask.sum())
-        self.stats.mnu += int(mnu_mask.sum())
-        return states, unique_entry[inverse], (hit_mask, mau_mask, mnu_mask)
+        # Per-unique categories map straight onto the dense state codes:
+        # resident (0) is HIT on every occurrence, inserted (1) is MAU on
+        # the first occurrence and HIT afterwards, rejected (2) is MNU —
+        # the same numbers as HIT_CODE=0 / MAU_CODE=1 / MNU_CODE=2, so a
+        # single in-place fixup of intra-batch hits yields the codes.
+        codes = unique_state[inverse]
+        codes[(codes == 1) & ~is_first] = HIT_CODE
+        counts = np.bincount(codes, minlength=3)
+        self.stats.hits += int(counts[0])
+        self.stats.mau += int(counts[1])
+        self.stats.mnu += int(counts[2])
+        return codes, unique_entry[inverse]
 
     def lookup_or_insert(self, signature: int) -> tuple[HitState, int]:
         """Scalar probe, for API parity with the line-level model."""
         states, entries = self.lookup_or_insert_batch([signature])
-        return states[0], int(entries[0])
+        return CODE_TO_STATE[int(states[0])], int(entries[0])
 
     def probe_batch(self, signatures) -> tuple[np.ndarray, np.ndarray]:
         """Non-mutating batch lookup; returns (present, entry_ids).

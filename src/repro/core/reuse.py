@@ -246,12 +246,25 @@ class ReuseEngine:
                             for vectors in groups]
         simulations = self._build_hitmaps_grouped(signature_groups)
 
-        results = []
+        # The fused ride assembles all groups through one gather → block
+        # GEMM → scatter; it needs one shared (length, filters) shape
+        # (a ragged tail group — in_channels not divisible — falls back
+        # to the per-group masked ride, which is the oracle anyway).
+        uniform = all(
+            weights.shape == weights_list[0].shape
+            for weights in weights_list[1:])
+        if self.config.fused_ride and uniform:
+            results = ReuseSession.ride_groups(groups, weights_list,
+                                               simulations)
+        else:
+            results = [ReuseSession.ride(vectors, weights, simulation)
+                       for vectors, weights, simulation in
+                       zip(groups, weights_list, simulations)]
+
         for vectors, weights, signatures, simulation in zip(
                 groups, weights_list, signature_groups, simulations):
             num_vectors, vector_length = vectors.shape
             num_filters = weights.shape[1]
-            results.append(ReuseSession.ride(vectors, weights, simulation))
 
             # Per-group bookkeeping mirrors the per-call loop exactly:
             # the table record is overwritten per group (last group

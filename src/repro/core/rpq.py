@@ -132,14 +132,23 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
 
 
 def words_to_ints(words: np.ndarray) -> np.ndarray:
-    """Exact Python integers (object array) for multi-word signatures."""
-    words = np.asarray(words, dtype=np.uint64)
+    """Exact Python integers (object array) for multi-word signatures.
+
+    A scalar-consumer boundary (the differential oracle expands batches
+    here to probe the line-level model); the vectorized engines never
+    leave the packed representations.  One ``int.from_bytes`` per row on
+    a single big-endian serialisation of the batch replaces the old
+    per-word Python shift loop.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
     out = np.empty(len(words), dtype=object)
-    for index, row in enumerate(words.tolist()):
-        value = 0
-        for word in row:
-            value = (value << WORD_BITS) | word
-        out[index] = value
+    # Words are most-significant first, so each row's big-endian bytes
+    # concatenate directly into its integer value.
+    data = words.astype(">u8", copy=False).tobytes()
+    stride = words.shape[1] * 8 if words.ndim == 2 else 8
+    for index in range(len(words)):
+        out[index] = int.from_bytes(data[index * stride:(index + 1) * stride],
+                                    "big")
     return out
 
 

@@ -51,7 +51,7 @@ import numpy as np
 
 from repro.core.differential import scalar_reference_simulation
 from repro.core.eviction import EVICTION_POLICIES, build_eviction_state
-from repro.core.hitmap import HitState
+from repro.core.hitmap import HIT_CODE, MAU_CODE, MNU_CODE
 from repro.core.hitmap_sim import (HitmapSimulation, signature_sets,
                                    simulate_hitmap, simulate_hitmap_grouped)
 from repro.core.mcache_vec import VectorizedMCache
@@ -252,6 +252,16 @@ class ReuseSession:
         # sweep rows stay reproducible).
         self._seen: dict = {}
         self._seen_capacity = max(4 * policy.entries, 1024)
+        # Dense result store, indexed by MCACHE entry id: the serving
+        # hot path's replacement for the object grid inside the batch
+        # MCACHE (which stays as the differential suite's data-phase
+        # model).  ``_store_rows`` holds the cached result rows,
+        # ``_store_payloads`` the exact-check input payloads; both are
+        # allocated on first write because the row width is only known
+        # then (one session serves one stream of equal-length vectors).
+        self._store_valid = np.empty(0, dtype=bool)
+        self._store_rows: np.ndarray | None = None
+        self._store_payloads: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Flash phase — the training engine's per-layer Hitmap
@@ -319,16 +329,93 @@ class ReuseSession:
         num_vectors = vectors.shape[0]
         num_filters = weights.shape[1]
         if simulation.hits:
-            hit_mask = simulation.states == HitState.HIT
+            hit_mask = simulation.states == HIT_CODE
             compute_mask = ~hit_mask
             result = np.empty((num_vectors, num_filters), dtype=np.float64)
             result[compute_mask] = vectors[compute_mask] @ weights
             result[hit_mask] = result[simulation.representative[hit_mask]]
         else:
-            # Nothing to copy: skip the per-element object-dtype state
-            # comparison and the masked gather/scatter round trip.
+            # Nothing to copy: skip the mask build and the masked
+            # gather/scatter round trip.
             result = vectors @ weights
         return result
+
+    @staticmethod
+    def ride_groups(vectors_groups, weights_groups,
+                    simulations) -> list[np.ndarray]:
+        """Fused cache ride over many channel groups at once.
+
+        Bit-identical to calling :meth:`ride` once per group, but the
+        assembly runs as one gather → block GEMM → scatter over the
+        whole ``matmul_groups`` call: one miss-row gather across all
+        groups into a contiguous buffer, one GEMM per group on a
+        contiguous slice of it (the per-group ``(misses, length) @
+        (length, filters)`` shapes — and therefore the BLAS reduction
+        order and every output bit — match the per-call path exactly),
+        and one row-map gather to assemble the output.  The scatter and
+        the HIT-row copy collapse into that last gather: an int64 map
+        sends every row to its row in the computed block — misses to
+        their own GEMM row, HITs to their representative's (a MAU row,
+        so always computed) — and ``computed[map]`` materialises the
+        whole result in one pass.  Fixing up the map moves 8 bytes per
+        HIT row where the per-call path copies a full result row, which
+        is where the fused speedup comes from at conv-like group
+        counts.
+
+        Caller contract (the engine's ``matmul_groups`` enforces it):
+        every group shares one vector length and one filter count, and
+        vectors are float64.  Returns per-group result views into one
+        contiguous ``(total_rows, filters)`` buffer.
+        """
+        num_groups = len(vectors_groups)
+        counts = np.array([len(vectors) for vectors in vectors_groups],
+                          dtype=np.int64)
+        starts = np.zeros(num_groups + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        total = int(starts[-1])
+        length = weights_groups[0].shape[0]
+        num_filters = weights_groups[0].shape[1]
+
+        if not any(simulation.hits for simulation in simulations):
+            # Per-call fast path taken for every group: plain products.
+            return [vectors @ weights for vectors, weights
+                    in zip(vectors_groups, weights_groups)]
+
+        codes = np.concatenate([simulation.states
+                                for simulation in simulations])
+        miss_mask = codes != HIT_CODE
+        # Row map: each miss row points at its own slot in the computed
+        # block (its rank among the misses).
+        row_map = np.cumsum(miss_mask, dtype=np.int64)
+        row_map -= 1
+        miss_idx = np.flatnonzero(miss_mask)
+        # miss_idx ascends, so each group's misses form one contiguous
+        # segment [seg[g], seg[g+1]) of the gathered buffer.
+        seg = np.searchsorted(miss_idx, starts)
+        gathered = np.empty((len(miss_idx), length), dtype=np.float64)
+        computed = np.empty((len(miss_idx), num_filters), dtype=np.float64)
+        for group in range(num_groups):
+            lo, hi = int(seg[group]), int(seg[group + 1])
+            if lo == hi:
+                continue
+            np.take(vectors_groups[group], miss_idx[lo:hi] - starts[group],
+                    axis=0, out=gathered[lo:hi])
+            np.matmul(gathered[lo:hi], weights_groups[group],
+                      out=computed[lo:hi])
+
+        # Representatives are group-local; offset them to the
+        # concatenated frame.  A HIT's representative is always a MAU
+        # row — a miss — so its map entry is already final, and HIT
+        # rows simply inherit it.
+        hit_mask = ~miss_mask
+        offsets = np.repeat(starts[:-1], counts)
+        representative = np.concatenate(
+            [simulation.representative for simulation in simulations])
+        sources = representative + offsets
+        row_map[hit_mask] = row_map[sources[hit_mask]]
+        results = computed[row_map]
+        return [results[starts[group]:starts[group + 1]]
+                for group in range(num_groups)]
 
     # ------------------------------------------------------------------
     # Persistent phase — the serving caches
@@ -339,6 +426,44 @@ class ReuseSession:
             self._entry_batch = np.concatenate(
                 [self._entry_batch,
                  np.full(missing, batch_index, dtype=np.int64)])
+            self._store_valid = np.concatenate(
+                [self._store_valid, np.zeros(missing, dtype=bool)])
+            capacity = len(self._entry_batch)
+            for name in ("_store_rows", "_store_payloads"):
+                store = getattr(self, name)
+                if store is not None and len(store) < capacity:
+                    grown = np.empty((max(capacity, 2 * len(store)),
+                                      store.shape[1]), dtype=np.float64)
+                    grown[:len(store)] = store
+                    setattr(self, name, grown)
+
+    def _ensure_store(self, row_width: int,
+                      payload_width: int | None) -> None:
+        """Allocate (or width-check) the dense result store."""
+        if self._store_rows is None:
+            capacity = max(len(self._entry_batch), 1)
+            self._store_rows = np.empty((capacity, row_width),
+                                        dtype=np.float64)
+            if payload_width is not None:
+                self._store_payloads = np.empty((capacity, payload_width),
+                                                dtype=np.float64)
+            return
+        if self._store_rows.shape[1] != row_width or (
+                payload_width is not None
+                and self._store_payloads.shape[1] != payload_width):
+            raise ValueError("result width changed mid-stream; one "
+                             "session serves one stream of equal-length "
+                             "vectors")
+
+    def _store_write(self, entry_ids: np.ndarray, rows: np.ndarray,
+                     payloads: np.ndarray | None) -> None:
+        """Admit computed rows (and exact-check payloads) by entry id."""
+        self._ensure_store(rows.shape[1],
+                           None if payloads is None else payloads.shape[1])
+        self._store_rows[entry_ids] = rows
+        if payloads is not None:
+            self._store_payloads[entry_ids] = payloads
+        self._store_valid[entry_ids] = True
 
     @staticmethod
     def _signature_key(value):
@@ -350,15 +475,27 @@ class ReuseSession:
     def _prune_seen(self) -> None:
         """Evict the stalest frequency-gate entries beyond capacity.
 
-        Sorted by last-seen batch (stably, so ties fall back to
-        insertion order) — deterministic for deterministic traffic.
+        Selection order matches a stable sort by last-seen batch (ties
+        fall back to insertion order) — deterministic for deterministic
+        traffic — but runs as an O(n) ``argpartition`` for the stalest
+        k instead of sorting the whole gate on every prune.
         """
         excess = len(self._seen) - self._seen_capacity
         if excess <= 0:
             return
-        stalest = sorted(self._seen, key=lambda key: self._seen[key][1])
-        for key in stalest[:excess]:
-            del self._seen[key]
+        keys = list(self._seen)
+        batches = np.fromiter((self._seen[key][1] for key in keys),
+                              dtype=np.int64, count=len(keys))
+        threshold = int(
+            batches[np.argpartition(batches, excess - 1)[:excess]].max())
+        below = np.flatnonzero(batches < threshold)
+        for index in below:
+            del self._seen[keys[index]]
+        # Ties at the threshold batch evict in insertion order (the
+        # ascending key index), exactly the stable sort's tie-break.
+        for index in np.flatnonzero(batches == threshold)[
+                :excess - len(below)]:
+            del self._seen[keys[index]]
 
     def _admitted_absents(self, uniques, absent, counts,
                           payload_bytes: int,
@@ -404,10 +541,9 @@ class ReuseSession:
 
         present, entry_ids = self.mcache.probe_batch(uniques)
         entry_ids = entry_ids.copy()
-        states = np.empty(len(uniques), dtype=object)
-        states[present] = HitState.HIT
         # Default for absents: no line (the MNU outcome) until admitted.
-        states[~present] = HitState.MNU
+        states = np.full(len(uniques), MNU_CODE, dtype=np.int8)
+        states[present] = HIT_CODE
 
         absent = np.flatnonzero(~present)
         counts = np.bincount(inverse, minlength=len(uniques))
@@ -441,9 +577,8 @@ class ReuseSession:
         m = self.mcache
         present, entry_ids = m.probe_batch(uniques)
         entry_ids = entry_ids.copy()
-        states = np.empty(len(uniques), dtype=object)
-        states[present] = HitState.HIT
-        states[~present] = HitState.MNU
+        states = np.full(len(uniques), MNU_CODE, dtype=np.int8)
+        states[present] = HIT_CODE
         counts = np.bincount(inverse, minlength=len(uniques))
 
         residents = np.flatnonzero(present)
@@ -475,7 +610,7 @@ class ReuseSession:
                     way = self._evictor.victim(set_index)
                     entry = m.replace_line(set_index, way,
                                            uniques[position])
-                    states[position] = HitState.MAU
+                    states[position] = MAU_CODE
                     self._evictor.replace(set_index, way,
                                           count=int(counts[position]))
                     self.counters.evicted += 1
@@ -526,9 +661,9 @@ class ReuseSession:
         else:
             aliased = np.zeros(num_rows, dtype=bool)
 
-        resident = states == HitState.HIT          # existed before batch
-        inserted = states == HitState.MAU          # claimed a line now
-        rejected = states == HitState.MNU          # set full, no entry
+        resident = states == HIT_CODE              # existed before batch
+        inserted = states == MAU_CODE              # claimed a line now
+        rejected = states == MNU_CODE              # set full, no entry
 
         # Which resident entries may serve their stored result?
         reusable = resident.copy()
@@ -536,7 +671,7 @@ class ReuseSession:
         if resident.any():
             res_idx = np.flatnonzero(resident)
             res_entries = entry_ids[res_idx]
-            valid = self.mcache.has_data_batch(res_entries)
+            valid = self._store_valid[res_entries].copy()
             if self.policy.ttl_batches is not None:
                 age = batch_index - self._entry_batch[res_entries]
                 expired = age > self.policy.ttl_batches
@@ -547,12 +682,8 @@ class ReuseSession:
             refresh[stale] = True
             if self.policy.exact_check and valid.any():
                 live = res_idx[valid]
-                stored = self.mcache.read_data_batch(entry_ids[live])
-                match = np.fromiter(
-                    (np.array_equal(payload, vectors[row])
-                     for (payload, _), row in zip(stored,
-                                                  first_index[live])),
-                    dtype=bool, count=len(live))
+                match = (self._store_payloads[entry_ids[live]]
+                         == vectors[first_index[live]]).all(axis=1)
                 collided = live[~match]
                 counters.collisions += len(collided)
                 reusable[collided] = False
@@ -571,14 +702,11 @@ class ReuseSession:
         # Assemble per-unique results: reused rows from the store,
         # computed rows from the caller.
         width = computed.shape[1] if computed is not None else \
-            self._stored_width(entry_ids, reusable)
+            self._stored_width()
         unique_rows = np.empty((num_unique, width), dtype=np.float64)
         if reusable.any():
             reuse_idx = np.flatnonzero(reusable)
-            stored = self.mcache.read_data_batch(entry_ids[reuse_idx])
-            for position, value in zip(reuse_idx, stored):
-                unique_rows[position] = value[1] if self.policy.exact_check \
-                    else value
+            unique_rows[reuse_idx] = self._store_rows[entry_ids[reuse_idx]]
         if computed is not None:
             unique_rows[needs_compute] = computed[:len(group_rows)]
 
@@ -588,17 +716,12 @@ class ReuseSession:
         # signatures have no line to write.
         admit = np.flatnonzero(inserted | refresh)
         if len(admit):
-            values = np.empty(len(admit), dtype=object)
-            for slot, unique_pos in enumerate(admit):
-                row = np.array(unique_rows[unique_pos], copy=True)
-                if self.policy.exact_check:
-                    payload = np.array(vectors[first_index[unique_pos]],
-                                       copy=True)
-                    values[slot] = (payload, row)
-                else:
-                    values[slot] = row
-            self.mcache.write_data_batch(entry_ids[admit], values)
-            self._entry_batch[entry_ids[admit]] = batch_index
+            admit_ids = entry_ids[admit]
+            self._store_write(
+                admit_ids, unique_rows[admit],
+                vectors[first_index[admit]] if self.policy.exact_check
+                else None)
+            self._entry_batch[admit_ids] = batch_index
 
         results = unique_rows[inverse]
         if len(aliased_rows):
@@ -627,12 +750,8 @@ class ReuseSession:
 
         return results, outcome
 
-    def _stored_width(self, entry_ids, reusable) -> int:
-        reuse_idx = np.flatnonzero(reusable)
-        if not len(reuse_idx):
-            return 0
-        first = self.mcache.read_data_batch(entry_ids[reuse_idx[:1]])[0]
-        return len(first[1]) if self.policy.exact_check else len(first)
+    def _stored_width(self) -> int:
+        return 0 if self._store_rows is None else self._store_rows.shape[1]
 
     def admit_external(self, vector, row, batch_index: int) -> bool:
         """Insert-or-refresh one externally computed ``(vector, row)``.
@@ -677,17 +796,12 @@ class ReuseSession:
                 self.counters.evicted += 1
         else:
             sub_states, sub_ids = m.lookup_or_insert_batch(signatures)
-            if sub_states[0] == HitState.MNU:
+            if sub_states[0] == MNU_CODE:
                 return False
             entry = int(sub_ids[0])
         self._grow_entry_batches(batch_index)
-        values = np.empty(1, dtype=object)
-        if self.policy.exact_check:
-            values[0] = (np.array(vector[0], copy=True),
-                         np.array(row, copy=True))
-        else:
-            values[0] = np.array(row, copy=True)
-        m.write_data_batch([entry], values)
+        self._store_write(np.array([entry]), row.reshape(1, -1),
+                          vector if self.policy.exact_check else None)
         self._entry_batch[entry] = batch_index
         self.counters.replicated += 1
         return True
@@ -734,17 +848,16 @@ class ReuseSession:
         else:
             signatures = m._tags[sets, ways] * m.num_sets + sets
             mode = "int64"
-        has_data = m._valid_data[sets, ways, 0].copy()
-        stored = [m._data[s, w, 0]
-                  for s, w in zip(sets[has_data], ways[has_data])]
-        if self.policy.exact_check:
-            payloads = np.stack([value[0] for value in stored]) if stored \
-                else np.empty((0, 0))
-            rows = np.stack([value[1] for value in stored]) if stored \
-                else np.empty((0, 0))
+        entry_ids = m._line_entry[sets, ways]
+        has_data = self._store_valid[entry_ids] \
+            if len(self._store_valid) else np.zeros(len(sets), dtype=bool)
+        data_ids = entry_ids[has_data]
+        rows = self._store_rows[data_ids] if len(data_ids) \
+            else np.empty((0, 0))
+        if self.policy.exact_check and len(data_ids):
+            payloads = self._store_payloads[data_ids]
         else:
             payloads = np.empty((0, 0))
-            rows = np.stack(stored) if stored else np.empty((0, 0))
 
         seen_keys = sorted(self._seen)
         arrays = {
@@ -810,9 +923,12 @@ class ReuseSession:
                 f"the {expected_layout!r} layout of this policy")
         self.clear()
         signatures = np.asarray(arrays["signatures"])
+        self._entry_batch = np.asarray(arrays["entry_batch"],
+                                       dtype=np.int64).copy()
+        self._store_valid = np.zeros(len(self._entry_batch), dtype=bool)
         if len(signatures):
             states, entry_ids = self.mcache.lookup_or_insert_batch(signatures)
-            if not (states == HitState.MAU).all() or \
+            if not (states == MAU_CODE).all() or \
                     not np.array_equal(entry_ids,
                                        np.arange(len(signatures))):
                 raise ValueError("snapshot signatures did not rebuild "
@@ -820,18 +936,11 @@ class ReuseSession:
             has_data = np.asarray(arrays["has_data"], dtype=bool)
             data_ids = entry_ids[has_data]
             if len(data_ids):
-                values = np.empty(len(data_ids), dtype=object)
-                payloads = np.asarray(arrays["payloads"])
-                rows = np.asarray(arrays["rows"])
-                for slot in range(len(data_ids)):
-                    if self.policy.exact_check:
-                        values[slot] = (payloads[slot].copy(),
-                                        rows[slot].copy())
-                    else:
-                        values[slot] = rows[slot].copy()
-                self.mcache.write_data_batch(data_ids, values)
-        self._entry_batch = np.asarray(arrays["entry_batch"],
-                                       dtype=np.int64).copy()
+                rows = np.asarray(arrays["rows"], dtype=np.float64)
+                self._store_write(
+                    data_ids, rows,
+                    np.asarray(arrays["payloads"], dtype=np.float64)
+                    if self.policy.exact_check else None)
         seen_keys = np.asarray(arrays.get("seen_keys",
                                           np.empty(0, dtype=np.int64)))
         seen_counts = np.asarray(arrays.get("seen_counts",
@@ -867,5 +976,8 @@ class ReuseSession:
         self.mcache.clear()
         self._entry_batch = np.empty(0, dtype=np.int64)
         self._seen = {}
+        self._store_valid = np.empty(0, dtype=bool)
+        self._store_rows = None
+        self._store_payloads = None
         if self._evictor is not None:
             self._evictor.clear()

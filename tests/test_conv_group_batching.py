@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import MercuryConfig
-from repro.core.hitmap import HitState
+from repro.core.hitmap import HIT_CODE, MAU_CODE
 from repro.core.hitmap_sim import simulate_hitmap, simulate_hitmap_grouped
 from repro.core.reuse import ReuseEngine
 from repro.core.rpq import ints_to_words
@@ -47,7 +47,7 @@ class TestSimulateHitmapGrouped:
         sigs = np.array([5, 5, 5, 5], dtype=np.int64)
         grouped = simulate_hitmap_grouped(sigs, [2, 2], num_sets=2, ways=1)
         for simulation in grouped:
-            assert list(simulation.states) == [HitState.MAU, HitState.HIT]
+            assert list(simulation.states) == [MAU_CODE, HIT_CODE]
             assert simulation.representative[1] == 0
 
     def test_uneven_group_sizes(self, make_trace):

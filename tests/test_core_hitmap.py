@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.hitmap import Hitmap, HitState
+from repro.core.hitmap import (HIT_CODE, Hitmap, HitState, MAU_CODE,
+                               MNU_CODE)
 from repro.core.hitmap_sim import simulate_hitmap
 from repro.core.mcache import MCache
 
@@ -63,21 +64,25 @@ def test_hitmap_arrays():
 # ----------------------------------------------------------------------
 def test_simulate_basic_states():
     sim = simulate_hitmap(np.array([10, 10, 11, 10]), num_sets=4, ways=4)
-    assert sim.states[0] is HitState.MAU
-    assert sim.states[1] is HitState.HIT
+    assert sim.states.dtype == np.int8
+    assert sim.states[0] == MAU_CODE
+    assert sim.states[1] == HIT_CODE
     assert sim.representative[1] == 0
-    assert sim.states[2] is HitState.MAU
+    assert sim.states[2] == MAU_CODE
     assert sim.hits == 2 and sim.mau == 2 and sim.mnu == 0
     assert sim.unique_signatures == 2
+    # The user-facing enum view converts per code.
+    assert sim.state_objects()[0] is HitState.MAU
+    assert sim.state_objects()[1] is HitState.HIT
 
 
 def test_simulate_capacity_mnu():
     # One set, one way: only the first distinct signature is inserted.
     sim = simulate_hitmap(np.array([1, 2, 1, 2]), num_sets=1, ways=1)
-    assert sim.states[0] is HitState.MAU
-    assert sim.states[1] is HitState.MNU
-    assert sim.states[2] is HitState.HIT
-    assert sim.states[3] is HitState.MNU
+    assert sim.states[0] == MAU_CODE
+    assert sim.states[1] == MNU_CODE
+    assert sim.states[2] == HIT_CODE
+    assert sim.states[3] == MNU_CODE
 
 
 def test_simulate_empty():
@@ -96,7 +101,7 @@ def test_simulate_to_hitmap():
 def test_simulate_long_signatures_fall_back():
     sigs = np.array([1 << 80, (1 << 80) + 1, 1 << 80], dtype=object)
     sim = simulate_hitmap(sigs, num_sets=8, ways=2)
-    assert sim.states[2] is HitState.HIT
+    assert sim.states[2] == HIT_CODE
     assert sim.unique_signatures == 2
 
 
@@ -118,7 +123,7 @@ def test_simulation_matches_line_level_mcache(signatures, num_sets, ways):
     owners = {}
     for index, signature in enumerate(signatures):
         state, entry = cache.lookup_or_insert(int(signature))
-        assert sim.states[index] is state
+        assert sim.states[index] == state.code
         if state is HitState.MAU:
             owners[entry] = index
         elif state is HitState.HIT:
@@ -133,7 +138,7 @@ def test_counts_are_consistent(signatures):
     assert sim.mau <= 4 * 2
     # Representatives of HIT entries always point to an earlier MAU entry.
     for index, state in enumerate(sim.states):
-        if state is HitState.HIT:
+        if state == HIT_CODE:
             rep = sim.representative[index]
             assert rep < index
-            assert sim.states[rep] is HitState.MAU
+            assert sim.states[rep] == MAU_CODE

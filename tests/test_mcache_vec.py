@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.hitmap import HitState
+from repro.core.hitmap import CODE_TO_STATE, HitState
 from repro.core.hitmap_sim import simulate_hitmap
 from repro.core.mcache_vec import VectorizedMCache
 
@@ -41,13 +41,14 @@ def test_batch_mixes_hits_maus_and_mnus():
     cache = VectorizedMCache(entries=2, ways=1)  # 2 sets, 1 way
     # Even signatures -> set 0, odd -> set 1.
     states, entries = cache.lookup_or_insert_batch([0, 0, 2, 1, 0, 3])
-    assert [s.value for s in states] == \
+    assert states.dtype == np.int8
+    assert [CODE_TO_STATE[s].value for s in states] == \
         ["MAU", "HIT", "MNU", "MAU", "HIT", "MNU"]
     assert entries[0] == entries[1] == entries[4]
     assert entries[2] == -1 and entries[5] == -1
     # Inserts persist across batches.
     states2, entries2 = cache.lookup_or_insert_batch([0, 1, 4])
-    assert [s.value for s in states2] == ["HIT", "HIT", "MNU"]
+    assert [CODE_TO_STATE[s].value for s in states2] == ["HIT", "HIT", "MNU"]
     assert entries2[0] == entries[0] and entries2[1] == entries[3]
 
 
@@ -175,10 +176,10 @@ def test_wide_signatures_promote_to_object():
     # 2 sets x 2 ways; +0/+2/+4 land in set 0, so +4 finds it full.
     wide = np.array([(1 << 70) + k for k in (0, 1, 0, 2, 4)], dtype=object)
     states, entries = cache.lookup_or_insert_batch(wide)
-    assert [s.value for s in states] == ["MAU", "MAU", "HIT", "MAU", "MNU"]
+    assert [CODE_TO_STATE[s].value for s in states] == ["MAU", "MAU", "HIT", "MAU", "MNU"]
     # Mixed int64 batches keep working after the promotion.
     states2, _ = cache.lookup_or_insert_batch(np.array([5, 5]))
-    assert [s.value for s in states2] == ["MAU", "HIT"]
+    assert [CODE_TO_STATE[s].value for s in states2] == ["MAU", "HIT"]
     assert cache.lookup_or_insert((1 << 70) + 1)[0] is HitState.HIT
 
 

@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 from repro.core.config import MercuryConfig
 from repro.core.differential import run_differential, \
     scalar_reference_simulation
+from repro.core.hitmap import CODE_TO_STATE
 from repro.core.hitmap_sim import simulate_hitmap
 from repro.core.mcache_vec import VectorizedMCache
 from repro.core.reuse import ReuseEngine
@@ -103,7 +104,7 @@ def test_mixed_width_trace_promotes_tag_store(narrow, wide, geometry):
         for offset in range(len(states)):
             state, entry_id = oracle.lookup_or_insert(
                 int(scalar_trace[position]))
-            assert state is states[offset]
+            assert state.code == states[offset]
             assert entry_id == int(entry_ids[offset])
             position += 1
 
@@ -120,7 +121,7 @@ def test_uint64_signatures_beyond_int63_stay_exact():
     oracle = MCache(entries=8, ways=2)
     for offset, value in enumerate(values):
         state, entry_id = oracle.lookup_or_insert(value)
-        assert state is states[offset]
+        assert state.code == states[offset]
         assert entry_id == int(entry_ids[offset])
 
 
@@ -134,7 +135,7 @@ def test_non_integral_float_signatures_are_rejected():
         cache.lookup_or_insert_batch(np.array([0.5, 0.0]))
     # Exactly-integral floats are accepted (they round-trip).
     states, _ = cache.lookup_or_insert_batch(np.array([3.0, 3.0]))
-    assert [s.value for s in states] == ["MAU", "HIT"]
+    assert [CODE_TO_STATE[s].value for s in states] == ["MAU", "HIT"]
 
 
 def test_probe_batch_is_non_mutating_across_representations():
@@ -174,7 +175,7 @@ def test_object_arrays_of_small_ints_take_the_int64_path():
 
     cache = VectorizedMCache(entries=8, ways=2)
     states, _ = cache.lookup_or_insert_batch(np.array([5, -5], dtype=object))
-    assert [s.value for s in states] == ["MAU", "MAU"]
+    assert [CODE_TO_STATE[s].value for s in states] == ["MAU", "MAU"]
     assert cache._tag_words is None              # still int64 mode
     present, _ = cache.probe_batch(np.array([-5, 6], dtype=object))
     assert list(present) == [True, False]

@@ -62,6 +62,7 @@ def test_check_floors_flags_misses():
                               "serving_sharded": 2.0,
                               "serving_tiered": 1.2,
                               "serving_telemetry": 1.0,
+                              "train_step": 1.5, "cache_ride": 1.4,
                               "functional_sweep": 3.0})
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
@@ -72,7 +73,8 @@ def test_check_floors_gates_sharded_serving():
     payload = floors_payload({"im2col": 2.0, "baseline_memoization": 2.0,
                               "serving_sharded": 1.1,
                               "serving_tiered": 1.2,
-                              "serving_telemetry": 1.0})
+                              "serving_telemetry": 1.0,
+                              "train_step": 1.5, "cache_ride": 1.4})
     failures = check_floors(payload, floor=1.5, sharded_floor=1.2)
     assert len(failures) == 1 and "serving_sharded" in failures[0]
     assert check_floors(payload, floor=1.5, sharded_floor=1.05) == []
@@ -83,7 +85,8 @@ def test_check_floors_fails_on_missing_gated_segment():
     # disable the gate.
     payload = floors_payload({"im2col": 2.0, "serving_sharded": 2.0,
                               "serving_tiered": 1.2,
-                              "serving_telemetry": 1.0})
+                              "serving_telemetry": 1.0,
+                              "train_step": 1.5, "cache_ride": 1.4})
     failures = check_floors(payload, floor=1.5)
     assert len(failures) == 1 and "baseline_memoization" in failures[0]
     assert "missing" in failures[0]
@@ -91,7 +94,26 @@ def test_check_floors_fails_on_missing_gated_segment():
 
 GOOD = {"im2col": 2.0, "baseline_memoization": 2.0,
         "serving_sharded": 2.0, "serving_tiered": 1.2,
-        "serving_telemetry": 1.0}
+        "serving_telemetry": 1.0, "train_step": 1.5, "cache_ride": 1.4}
+
+
+def test_check_floors_gates_train_step():
+    # The training step is gated against the full seed replay; a
+    # regression below the floor must fail even when every other
+    # segment holds.
+    payload = floors_payload(dict(GOOD, train_step=1.1))
+    failures = check_floors(payload, floor=1.5)
+    assert len(failures) == 1 and "train_step" in failures[0]
+    assert check_floors(payload, floor=1.5, train_step_floor=1.05) == []
+
+
+def test_check_floors_gates_cache_ride():
+    # The fused gather->GEMM->scatter ride must beat the per-group
+    # masked assembly; its floor is independent of the global one.
+    payload = floors_payload(dict(GOOD, cache_ride=1.02))
+    failures = check_floors(payload, floor=1.5)
+    assert len(failures) == 1 and "cache_ride" in failures[0]
+    assert check_floors(payload, floor=1.5, cache_ride_floor=1.0) == []
 
 
 def test_check_floors_gates_tiered_serving():
@@ -154,7 +176,8 @@ def test_run_suite_artifact_contract():
     payload = run_suite(quick=True, repeats=1)
     assert payload["schema"] == SCHEMA
     expected = {"im2col", "rpq_projection_growth", "hitmap_multiword",
-                "train_step", "conv_group_batching", "serving_reuse",
+                "train_step", "conv_group_batching", "cache_ride",
+                "serving_reuse",
                 "serving_sharded", "serving_tiered", "serving_parallel",
                 "serving_telemetry", "baseline_memoization",
                 "functional_sweep"}
